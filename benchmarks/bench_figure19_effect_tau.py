@@ -1,0 +1,92 @@
+"""Figure 19: MaxRkNNT running time as the threshold ratio τ/ψ(se) grows.
+
+With a fixed start/end pair, a larger distance budget admits more candidate
+routes, so every method slows down; the pruned searches degrade much more
+gracefully than the enumeration-based baselines.  The reproduction fixes
+ψ(se) at its default and sweeps the ratio over the paper's grid.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.parameters import DEFAULT_PSI_SE, TAU_RATIO_VALUES
+from repro.bench.reporting import format_table
+from repro.planning.bruteforce import maxrknnt_pre
+from repro.planning.maxrknnt import MINIMIZE
+
+MAX_CANDIDATES = 150
+
+
+def test_figure19_effect_of_tau_ratio(
+    benchmark,
+    la_bundle,
+    la_vertex_index,
+    la_planner,
+    bench_scale,
+    write_result,
+    planning_query_for,
+):
+    city, _, _, _ = la_bundle
+    ratios = TAU_RATIO_VALUES[:3] if bench_scale.name == "smoke" else TAU_RATIO_VALUES
+
+    # Fix one reachable start/end pair; sweep only the budget.
+    start, end, base_tau = planning_query_for(
+        la_bundle, la_vertex_index, DEFAULT_PSI_SE, ratio=1.0
+    )
+    shortest = base_tau  # ratio=1.0 means τ equals the shortest distance
+
+    rows = []
+    pre_seconds_series = []
+    planner_seconds_series = []
+    candidate_series = []
+    for ratio in ratios:
+        tau = shortest * ratio
+
+        started = time.perf_counter()
+        pre = maxrknnt_pre(
+            city.network,
+            la_vertex_index,
+            start,
+            end,
+            tau,
+            max_candidates=MAX_CANDIDATES,
+        )
+        pre_seconds = time.perf_counter() - started
+
+        pre_max = la_planner.plan(start, end, tau)
+        pre_min = la_planner.plan(start, end, tau, objective=MINIMIZE)
+
+        pre_seconds_series.append(pre_seconds)
+        planner_seconds_series.append(pre_max.stats.seconds if pre_max else 0.0)
+        candidate_series.append(pre.stats.complete_routes if pre else 0)
+        rows.append(
+            {
+                "tau/psi": ratio,
+                "tau_km": tau,
+                "candidates": pre.stats.complete_routes if pre else 0,
+                "Pre_s": pre_seconds,
+                "PreMax_s": pre_max.stats.seconds if pre_max else 0.0,
+                "PreMin_s": pre_min.stats.seconds if pre_min else 0.0,
+                "passengers_max": pre_max.passengers if pre_max else 0,
+                "passengers_min": pre_min.passengers if pre_min else 0,
+            }
+        )
+
+        if pre is not None and pre_max is not None:
+            # A larger budget can only improve (or preserve) the optimum.
+            assert pre_max.travel_distance <= tau + 1e-9
+
+    # Paper shape: the candidate space (and hence the enumeration cost) grows
+    # with the budget ratio.
+    assert candidate_series[-1] >= candidate_series[0]
+    # The optimum value is monotone in the budget.
+    passengers = [row["passengers_max"] for row in rows]
+    assert all(b >= a for a, b in zip(passengers, passengers[1:]))
+
+    write_result(
+        "figure19_effect_tau",
+        format_table(rows, title="Figure 19 (LA) — planning cost vs τ/ψ(se)"),
+    )
+
+    benchmark(la_planner.plan, start, end, shortest * ratios[-1])

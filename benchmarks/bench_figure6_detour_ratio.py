@@ -1,0 +1,45 @@
+"""Figure 6: histogram of the ratio between travel distance and straight-line
+distance (detour ratio) over all bus routes.
+
+The paper observes that the ratio "does not exceed 2 in most bus routes",
+which motivates the distance threshold τ of MaxRkNNT.  The same shape must
+hold for the synthetic route generators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.reporting import format_histogram, summarize_distribution
+
+
+def finite_ratios(routes):
+    return [r for r in routes.detour_ratios() if math.isfinite(r)]
+
+
+def test_figure6_detour_ratio_histogram(benchmark, la_bundle, nyc_bundle, write_result):
+    sections = []
+    for name, bundle in (("LA-like", la_bundle), ("NYC-like", nyc_bundle)):
+        city, _, _, _ = bundle
+        ratios = benchmark(finite_ratios, city.routes) if name == "LA-like" else finite_ratios(city.routes)
+
+        # Shape assertions from the paper: ratios start at 1 and the bulk of
+        # the distribution sits below 2-3.
+        assert all(r >= 1.0 - 1e-9 for r in ratios)
+        below_two = sum(1 for r in ratios if r <= 2.0) / len(ratios)
+        below_three = sum(1 for r in ratios if r <= 3.0) / len(ratios)
+        assert below_three >= 0.8
+        assert below_two >= 0.5
+
+        summary = summarize_distribution(ratios)
+        sections.append(
+            format_histogram(
+                ratios,
+                bins=10,
+                title=(
+                    f"Figure 6 ({name}) — detour ratio ψ(R)/ψ(se); "
+                    f"median {summary['median']:.2f}, p90 {summary['p90']:.2f}"
+                ),
+            )
+        )
+    write_result("figure6_detour_ratio", "\n\n".join(sections))

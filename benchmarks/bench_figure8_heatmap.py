@@ -1,0 +1,68 @@
+"""Figure 8: spatial heatmaps of the route and transition datasets.
+
+The paper shows that check-in transitions concentrate along the bus-route
+corridors.  We reproduce the figure as text density grids and assert the
+underlying correlation: cells containing route points hold a disproportionate
+share of the transition endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.bench.heatmap import density_grid, format_density_grid
+
+
+def build_grids(bundle, rows=16, columns=32):
+    city, transitions, _, _ = bundle
+    bounds = city.bounds
+    route_points = [p for route in city.routes for p in route.points]
+    transition_points = []
+    for transition in transitions:
+        transition_points.append(transition.origin)
+        transition_points.append(transition.destination)
+    route_grid = density_grid(route_points, bounds, rows=rows, columns=columns)
+    transition_grid = density_grid(transition_points, bounds, rows=rows, columns=columns)
+    return route_grid, transition_grid, len(transition_points)
+
+
+def correlation_share(route_grid, transition_grid, total_points):
+    """Share of transition endpoints falling in cells that contain route points."""
+    covered = 0
+    route_cells = 0
+    for route_row, transition_row in zip(route_grid, transition_grid):
+        for route_count, transition_count in zip(route_row, transition_row):
+            if route_count > 0:
+                covered += transition_count
+                route_cells += 1
+    cell_total = len(route_grid) * len(route_grid[0])
+    return covered / max(1, total_points), route_cells / cell_total
+
+
+def test_figure8_heatmaps(benchmark, la_bundle, nyc_bundle, write_result):
+    sections = []
+    for name, bundle in (("LA-like", la_bundle), ("NYC-like", nyc_bundle)):
+        if name == "LA-like":
+            route_grid, transition_grid, total = benchmark(build_grids, bundle)
+        else:
+            route_grid, transition_grid, total = build_grids(bundle)
+        share, cell_share = correlation_share(route_grid, transition_grid, total)
+
+        # Transitions must concentrate along routes: the cells touched by
+        # routes hold a clearly disproportionate share of transition points.
+        assert share > cell_share
+
+        sections.append(
+            format_density_grid(
+                route_grid, title=f"Figure 8 ({name}) — route density"
+            )
+        )
+        sections.append(
+            format_density_grid(
+                transition_grid,
+                title=(
+                    f"Figure 8 ({name}) — transition density "
+                    f"({share * 100:.0f}% of endpoints in route cells, "
+                    f"which cover {cell_share * 100:.0f}% of the area)"
+                ),
+            )
+        )
+    write_result("figure8_heatmaps", "\n\n".join(sections))

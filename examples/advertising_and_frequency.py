@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Downstream applications: ad recommendation and service frequency planning.
+
+The paper motivates RkNNT with applications beyond capacity estimation; this
+example exercises two of them end to end using :mod:`repro.apps`:
+
+* pick the advertisements with the largest influence over the passengers an
+  existing route would carry (greedy maximum coverage over the RkNNT set);
+* slice the day into time slots and recommend how many vehicles per slot the
+  route needs, based on the RkNNT demand of each slot.
+
+Run it with::
+
+    python examples/advertising_and_frequency.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import RkNNTProcessor, Transition
+from repro.apps import Advertisement, AdvertisingRecommender, FrequencyPlanner
+from repro.bench.reporting import format_table
+from repro.data.checkins import TransitionGenerator
+from repro.data.workloads import make_city
+
+INTERESTS = ["music", "sports", "food", "tech", "art", "travel"]
+K = 3
+
+
+def main() -> None:
+    city, _ = make_city("mini")
+    rng = random.Random(11)
+
+    # Timestamped transitions over a simulated day (0h-24h) with a peak at 8h.
+    generator = TransitionGenerator(city.routes, seed=23)
+    transitions = generator.generate(600)
+    for transition in transitions:
+        peak = rng.gauss(8.0, 2.5) if rng.random() < 0.6 else rng.uniform(0.0, 24.0)
+        transition.timestamp = max(0.0, min(24.0, peak))
+
+    processor = RkNNTProcessor(city.routes, transitions)
+    target_route = max(city.routes, key=lambda route: route.travel_distance)
+    print(f"target route: {target_route.name!r} "
+          f"({len(target_route)} stops, {target_route.travel_distance:.1f} km)")
+
+    # ------------------------------------------------------------------
+    # 1. Advertisement recommendation.
+    # ------------------------------------------------------------------
+    profiles = {
+        transition.transition_id: frozenset(
+            rng.sample(INTERESTS, rng.randint(1, 3))
+        )
+        for transition in transitions
+    }
+    recommender = AdvertisingRecommender(processor, profiles, k=K)
+    audience = recommender.audience(target_route)
+    interest_histogram = recommender.audience_interests(audience)
+    print(f"\nroute audience: {len(audience)} prospective riders")
+    print(format_table(
+        [
+            {"interest": interest, "riders": count}
+            for interest, count in sorted(
+                interest_histogram.items(), key=lambda item: -item[1]
+            )
+        ],
+        title="audience interests",
+    ))
+
+    ads = [
+        Advertisement("concert-tickets", frozenset({"music", "art"})),
+        Advertisement("stadium-season-pass", frozenset({"sports"})),
+        Advertisement("food-delivery", frozenset({"food"}), value_per_passenger=0.5),
+        Advertisement("phone-upgrade", frozenset({"tech"}), value_per_passenger=2.0),
+        Advertisement("city-break", frozenset({"travel"})),
+    ]
+    placements = recommender.recommend(target_route, ads, max_ads=3)
+    print(format_table(
+        [
+            {
+                "ad": placement.advertisement.ad_id,
+                "reach": placement.reach,
+                "value": placement.value,
+            }
+            for placement in placements
+        ],
+        title="\nselected advertisements (greedy max coverage)",
+    ))
+    covered = recommender.coverage(placements)
+    print(f"the selected ads reach {len(covered)} of {len(audience)} riders")
+
+    # ------------------------------------------------------------------
+    # 2. Service frequency planning.
+    # ------------------------------------------------------------------
+    planner = FrequencyPlanner(
+        city.routes, transitions, k=K, vehicle_capacity=30, target_load_factor=0.8
+    )
+    plan = planner.plan(target_route, slots=6)
+    print(format_table(
+        [
+            {
+                "slot": f"{slot.slot_start:04.1f}-{slot.slot_end:04.1f}h",
+                "active_requests": slot.active_transitions,
+                "estimated_riders": slot.riders,
+                "vehicles": slot.vehicles,
+                "load/vehicle": slot.load_per_vehicle,
+            }
+            for slot in plan
+        ],
+        title="\nrecommended service frequency per time slot",
+    ))
+    peak = planner.peak_slot(plan)
+    print(
+        f"peak slot {peak.slot_start:.1f}-{peak.slot_end:.1f}h needs "
+        f"{peak.vehicles} vehicles for ~{peak.riders} riders"
+    )
+
+
+if __name__ == "__main__":
+    main()

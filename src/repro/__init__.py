@@ -1,0 +1,72 @@
+"""repro — Reverse k Nearest Neighbor Search over Trajectories (RkNNT).
+
+A from-scratch Python reproduction of the query-processing system described
+in *Reverse k Nearest Neighbor Search over Trajectories* (Wang, Bao,
+Culpepper, Sellis, Cong; ICDE 2018 / arXiv:1704.03978).
+
+Quick start
+-----------
+>>> from repro import Route, Transition, RouteDataset, TransitionDataset, RkNNTProcessor
+>>> routes = RouteDataset([Route(0, [(0, 0), (1, 0), (2, 0)]),
+...                        Route(1, [(0, 2), (1, 2), (2, 2)])])
+>>> transitions = TransitionDataset([Transition(0, (0.5, 0.2), (1.5, 0.1))])
+>>> processor = RkNNTProcessor(routes, transitions)
+>>> result = processor.query([(0, 0.5), (2, 0.5)], k=1)
+>>> sorted(result.transition_ids)
+[0]
+
+The three sub-packages mirror the paper's structure:
+
+* :mod:`repro.core` — the RkNNT filter-refine framework, its Voronoi and
+  divide & conquer optimisations, and the brute-force baseline;
+* :mod:`repro.planning` — the MaxRkNNT / MinRkNNT optimal route planning
+  query over a bus-network graph;
+* :mod:`repro.data` — synthetic city / check-in generators and a GTFS-like
+  loader that stand in for the paper's NYC / LA datasets.
+"""
+
+from repro.model import Route, Transition, RouteDataset, TransitionDataset
+from repro.core import (
+    EXISTS,
+    FORALL,
+    RkNNTProcessor,
+    RkNNTResult,
+    rknnt_query,
+    rknnt_bruteforce,
+    rknnt_divide_conquer,
+)
+from repro.index import RouteIndex, TransitionIndex, RTree
+from repro.planning import (
+    BusNetwork,
+    MaxRkNNTPlanner,
+    PlannedRoute,
+    maxrknnt_bruteforce,
+)
+from repro.data import CityGenerator, TransitionGenerator, SyntheticCity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Route",
+    "Transition",
+    "RouteDataset",
+    "TransitionDataset",
+    "RkNNTProcessor",
+    "RkNNTResult",
+    "rknnt_query",
+    "rknnt_bruteforce",
+    "rknnt_divide_conquer",
+    "RouteIndex",
+    "TransitionIndex",
+    "RTree",
+    "EXISTS",
+    "FORALL",
+    "BusNetwork",
+    "MaxRkNNTPlanner",
+    "PlannedRoute",
+    "maxrknnt_bruteforce",
+    "CityGenerator",
+    "TransitionGenerator",
+    "SyntheticCity",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Applications built on top of the RkNNT operator.
+
+The paper motivates RkNNT with several downstream applications beyond raw
+capacity estimation.  This package implements two of them as worked,
+importable components (each also has a dedicated example-style test):
+
+* :mod:`repro.apps.advertising` — bus advertisement recommendation: use the
+  RkNNT set of a route to find the passengers it would carry, then select the
+  advertisements with the largest influence over those passengers (a greedy
+  maximum-coverage selection).
+* :mod:`repro.apps.frequency` — service frequency recommendation: split the
+  day into time slots, run RkNNT over the transitions of each slot, and
+  suggest how many vehicles per hour each route needs per slot.
+"""
+
+from repro.apps.advertising import AdvertisingRecommender, Advertisement
+from repro.apps.frequency import FrequencyPlanner, SlotDemand
+
+__all__ = [
+    "AdvertisingRecommender",
+    "Advertisement",
+    "FrequencyPlanner",
+    "SlotDemand",
+]

@@ -1,0 +1,63 @@
+"""Benchmark support: parameter grids, sweep harness and plain-text reporting.
+
+The modules here are shared by every script in ``benchmarks/``: they own the
+paper's parameter grid (Table 4), provide the sweep/timing helpers that the
+per-figure benchmarks call, and render results as aligned text tables and
+ASCII histograms so the benchmark output can be compared with the paper's
+figures side by side.
+"""
+
+from repro.bench.parameters import (
+    DEFAULT_K,
+    DEFAULT_QUERY_LENGTH,
+    DEFAULT_INTERVAL,
+    K_VALUES,
+    QUERY_LENGTH_VALUES,
+    INTERVAL_VALUES,
+    PSI_SE_VALUES,
+    TAU_RATIO_VALUES,
+    DEFAULT_PSI_SE,
+    DEFAULT_TAU_RATIO,
+    BenchmarkScale,
+    get_scale,
+)
+from repro.bench.harness import (
+    MethodTiming,
+    SweepResult,
+    time_rknnt_methods,
+    sweep_parameter,
+    build_benchmark_city,
+)
+from repro.bench.reporting import (
+    format_table,
+    format_histogram,
+    format_series,
+    summarize_distribution,
+)
+from repro.bench.heatmap import density_grid, format_density_grid
+
+__all__ = [
+    "DEFAULT_K",
+    "DEFAULT_QUERY_LENGTH",
+    "DEFAULT_INTERVAL",
+    "K_VALUES",
+    "QUERY_LENGTH_VALUES",
+    "INTERVAL_VALUES",
+    "PSI_SE_VALUES",
+    "TAU_RATIO_VALUES",
+    "DEFAULT_PSI_SE",
+    "DEFAULT_TAU_RATIO",
+    "BenchmarkScale",
+    "get_scale",
+    "MethodTiming",
+    "SweepResult",
+    "time_rknnt_methods",
+    "sweep_parameter",
+    "build_benchmark_city",
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "summarize_distribution",
+    "density_grid",
+    "format_density_grid",
+]

@@ -1,0 +1,183 @@
+"""Sweep harness shared by the per-figure benchmark scripts.
+
+The paper's RkNNT experiments all have the same shape: fix every parameter at
+its default, sweep one of them, and report the average running time of the
+three methods (Filter-Refine, Voronoi, Divide-Conquer), optionally broken
+down into filtering and verification phases.  :func:`sweep_parameter`
+implements that loop once so each ``benchmarks/bench_figure*.py`` script only
+declares what varies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.parameters import BenchmarkScale, get_scale
+from repro.core.rknnt import (
+    DIVIDE_CONQUER,
+    FILTER_REFINE,
+    METHODS,
+    RkNNTProcessor,
+    VORONOI,
+)
+from repro.data.synthetic import SyntheticCity
+from repro.data.workloads import QueryWorkload, make_city
+from repro.model.dataset import TransitionDataset
+
+#: Short labels used in the paper's figures.
+METHOD_LABELS = {
+    FILTER_REFINE: "FR",
+    VORONOI: "VO",
+    DIVIDE_CONQUER: "DC",
+}
+
+
+@dataclass
+class MethodTiming:
+    """Average timings and counters of one method at one parameter value."""
+
+    method: str
+    total_seconds: float
+    filtering_seconds: float
+    verification_seconds: float
+    result_size: float
+    #: Average number of transition endpoints surviving the pruning phase
+    #: (the work the verification phase has to do) — a deterministic proxy
+    #: for pruning power that the benchmark shape checks rely on.
+    candidates: float = 0.0
+    #: Average number of R-tree nodes pruned during the query.
+    nodes_pruned: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return METHOD_LABELS.get(self.method, self.method)
+
+    def as_row(self) -> Dict[str, float | str]:
+        return {
+            "method": self.label,
+            "total_s": self.total_seconds,
+            "filter_s": self.filtering_seconds,
+            "verify_s": self.verification_seconds,
+            "candidates": self.candidates,
+            "avg_results": self.result_size,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Result of sweeping one parameter over a set of methods."""
+
+    parameter: str
+    values: List[float]
+    timings: Dict[float, List[MethodTiming]] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, float | str]]:
+        """Flat rows (one per parameter value × method) for table rendering."""
+        rows: List[Dict[str, float | str]] = []
+        for value in self.values:
+            for timing in self.timings.get(value, []):
+                row: Dict[str, float | str] = {self.parameter: value}
+                row.update(timing.as_row())
+                rows.append(row)
+        return rows
+
+    def series(self, method: str) -> List[Tuple[float, float]]:
+        """(parameter value, total seconds) series for one method."""
+        label = METHOD_LABELS.get(method, method)
+        series = []
+        for value in self.values:
+            for timing in self.timings.get(value, []):
+                if timing.label == label or timing.method == method:
+                    series.append((value, timing.total_seconds))
+        return series
+
+
+def build_benchmark_city(
+    preset: str, scale: Optional[BenchmarkScale] = None, seed: Optional[int] = None
+) -> Tuple[SyntheticCity, TransitionDataset, RkNNTProcessor, QueryWorkload]:
+    """Build the city, transition set, processor and workload for a benchmark."""
+    scale = scale or get_scale()
+    city, transitions = make_city(preset, scale=scale.city_scale, seed=seed)
+    processor = RkNNTProcessor(city.routes, transitions)
+    workload = QueryWorkload(city, seed=1234)
+    return city, transitions, processor, workload
+
+
+def time_rknnt_methods(
+    processor: RkNNTProcessor,
+    queries: Sequence[Sequence[Sequence[float]]],
+    k: int,
+    methods: Sequence[str] = METHODS,
+) -> List[MethodTiming]:
+    """Average each method's running time over a batch of queries.
+
+    The per-query phase breakdown comes from the query statistics (so the
+    divide & conquer timing is the sum over its sub-queries, matching how the
+    paper reports it).
+    """
+    timings: List[MethodTiming] = []
+    for method in methods:
+        total = 0.0
+        filtering = 0.0
+        verification = 0.0
+        results = 0.0
+        candidates = 0.0
+        nodes_pruned = 0.0
+        for query in queries:
+            started = time.perf_counter()
+            result = processor.query(query, k, method=method)
+            total += time.perf_counter() - started
+            filtering += result.stats.filtering_seconds
+            verification += result.stats.verification_seconds
+            results += len(result)
+            candidates += result.stats.candidates
+            nodes_pruned += result.stats.nodes_pruned
+        count = max(1, len(queries))
+        timings.append(
+            MethodTiming(
+                method=method,
+                total_seconds=total / count,
+                filtering_seconds=filtering / count,
+                verification_seconds=verification / count,
+                result_size=results / count,
+                candidates=candidates / count,
+                nodes_pruned=nodes_pruned / count,
+            )
+        )
+    return timings
+
+
+def sweep_parameter(
+    processor: RkNNTProcessor,
+    workload: QueryWorkload,
+    parameter: str,
+    values: Sequence[float],
+    queries_per_value: int,
+    k: int,
+    query_length: int,
+    interval: float,
+    methods: Sequence[str] = METHODS,
+) -> SweepResult:
+    """Sweep ``parameter`` over ``values`` keeping the other parameters fixed.
+
+    ``parameter`` is one of ``"k"``, ``"query_length"`` or ``"interval"``;
+    the corresponding fixed argument is ignored for that sweep.
+    """
+    if parameter not in ("k", "query_length", "interval"):
+        raise ValueError(
+            "parameter must be one of 'k', 'query_length', 'interval'"
+        )
+    result = SweepResult(parameter=parameter, values=list(values))
+    for value in values:
+        current_k = int(value) if parameter == "k" else k
+        current_length = int(value) if parameter == "query_length" else query_length
+        current_interval = float(value) if parameter == "interval" else interval
+        queries = workload.query_routes(
+            queries_per_value, current_length, current_interval
+        )
+        result.timings[value] = time_rknnt_methods(
+            processor, queries, current_k, methods=methods
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Spatial density grids (text heatmaps) for Figure 8.
+
+Figure 8 of the paper shows heatmaps of the route and transition datasets for
+both cities.  Without a plotting stack we reproduce the same information as a
+2-D density grid rendered with a character ramp, which is enough to verify
+that transitions concentrate along the route corridors (the structural
+property the generators must preserve).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+#: Characters from empty to dense used when rendering the grid.
+DENSITY_RAMP = " .:-=+*#%@"
+
+
+def density_grid(
+    points: Iterable[Sequence[float]],
+    bounds: Tuple[float, float, float, float],
+    rows: int = 20,
+    columns: int = 40,
+) -> List[List[int]]:
+    """Count points per cell of a ``rows × columns`` grid over ``bounds``.
+
+    Points outside the bounds are clamped to the border cells so no data is
+    silently dropped.
+    """
+    if rows <= 0 or columns <= 0:
+        raise ValueError("rows and columns must be positive")
+    min_x, min_y, max_x, max_y = bounds
+    if max_x <= min_x or max_y <= min_y:
+        raise ValueError("bounds must span a non-empty rectangle")
+    grid = [[0] * columns for _ in range(rows)]
+    x_span = max_x - min_x
+    y_span = max_y - min_y
+    for point in points:
+        column = int((point[0] - min_x) / x_span * columns)
+        row = int((point[1] - min_y) / y_span * rows)
+        column = min(max(column, 0), columns - 1)
+        row = min(max(row, 0), rows - 1)
+        grid[row][column] += 1
+    return grid
+
+
+def format_density_grid(grid: List[List[int]], title: str | None = None) -> str:
+    """Render a density grid with a character ramp (denser = darker)."""
+    peak = max((cell for row in grid for cell in row), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if peak == 0:
+        lines.append("(no points)")
+        return "\n".join(lines)
+    levels = len(DENSITY_RAMP) - 1
+    # Render top row last so that north is up.
+    for row in reversed(grid):
+        characters = []
+        for cell in row:
+            level = 0 if cell == 0 else 1 + int((levels - 1) * cell / peak)
+            characters.append(DENSITY_RAMP[level])
+        lines.append("".join(characters))
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The experiment parameter grid (Table 4 of the paper) and benchmark scaling.
+
+The paper sweeps five parameters; default values (underlined in Table 4) are
+exposed as module constants.  Distances are in map units (km-equivalent in the
+synthetic cities).
+
+Because the reproduction runs on a laptop in pure Python rather than on the
+paper's C++/Xeon testbed, every benchmark accepts a *scale* that shrinks the
+datasets and the number of repetitions.  The scale is chosen through the
+``REPRO_BENCH_SCALE`` environment variable (``smoke``, ``small`` — the
+default — or ``full``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+# ----------------------------------------------------------------------
+# Table 4: parameter values (defaults underlined in the paper)
+# ----------------------------------------------------------------------
+#: Query lengths |Q| swept in Figures 11-13 (default 5).
+QUERY_LENGTH_VALUES = (3, 4, 5, 6, 7, 8, 9, 10)
+DEFAULT_QUERY_LENGTH = 5
+
+#: k values swept in Figures 9-10 and 13 (default 10).
+K_VALUES = (1, 5, 10, 15, 20, 25)
+DEFAULT_K = 10
+
+#: Interval I (km) between adjacent query points, Figures 14-15 (default 3).
+INTERVAL_VALUES = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+DEFAULT_INTERVAL = 3.0
+
+#: Straight-line start/end distance ψ(se) (km) for planning queries,
+#: Figure 18 (default 20 in the paper; scaled to the synthetic city size).
+PSI_SE_VALUES = (10.0, 20.0, 30.0, 40.0, 50.0)
+DEFAULT_PSI_SE = 20.0
+
+#: Ratio τ / ψ(se), Figure 19 (default 1.4).
+TAU_RATIO_VALUES = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+DEFAULT_TAU_RATIO = 1.4
+
+
+# ----------------------------------------------------------------------
+# Benchmark scaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchmarkScale:
+    """How much of the full experiment each benchmark runs.
+
+    Attributes
+    ----------
+    name:
+        Scale label (``smoke``/``small``/``full``).
+    city_scale:
+        Multiplier on the city presets' route/transition counts.
+    queries_per_point:
+        Number of queries averaged per parameter value (the paper uses
+        1,000).
+    synthetic_transitions:
+        Size of the large synthetic transition set (Figure 13; the paper uses
+        10 million).
+    planning_queries:
+        Number of planning (start, end) pairs per parameter value.
+    real_query_limit:
+        Number of existing routes used as real queries (Figures 16 and 20).
+    """
+
+    name: str
+    city_scale: float
+    queries_per_point: int
+    synthetic_transitions: int
+    planning_queries: int
+    real_query_limit: int
+
+    #: Factor applied to ψ(se) / I values so they fit inside the scaled city.
+    distance_scale: float = 0.5
+
+
+_SCALES = {
+    # Fast enough for CI and `pytest benchmarks/ --benchmark-only` runs.
+    "smoke": BenchmarkScale(
+        name="smoke",
+        city_scale=0.25,
+        queries_per_point=2,
+        synthetic_transitions=4000,
+        planning_queries=1,
+        real_query_limit=4,
+        distance_scale=0.3,
+    ),
+    # Default: minutes, shapes clearly visible.
+    "small": BenchmarkScale(
+        name="small",
+        city_scale=0.5,
+        queries_per_point=5,
+        synthetic_transitions=20000,
+        planning_queries=2,
+        real_query_limit=10,
+        distance_scale=0.4,
+    ),
+    # Closest to the paper that is still practical in pure Python.
+    "full": BenchmarkScale(
+        name="full",
+        city_scale=1.0,
+        queries_per_point=20,
+        synthetic_transitions=100000,
+        planning_queries=5,
+        real_query_limit=40,
+        distance_scale=0.5,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> BenchmarkScale:
+    """Resolve the benchmark scale.
+
+    Order of precedence: explicit ``name`` argument, the
+    ``REPRO_BENCH_SCALE`` environment variable, then ``"smoke"`` (so that the
+    benchmark suite is quick by default; export ``REPRO_BENCH_SCALE=small``
+    or ``full`` for more faithful runs).
+    """
+    if name is None:
+        name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark scale {name!r}; expected one of {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,270 @@
+"""Command-line interface for the RkNNT library.
+
+Four sub-commands cover the typical workflows without writing any Python:
+
+``generate``
+    Build a synthetic city (routes + transitions) and save it as CSV files.
+``query``
+    Run one RkNNT query against saved datasets and print the matching
+    transitions.
+``capacity``
+    Estimate the demand of every route in a saved dataset (the capacity
+    estimation use case).
+``plan``
+    Run a MaxRkNNT / MinRkNNT planning query between two stops of the
+    saved network.
+
+Example session::
+
+    python -m repro.cli generate --preset mini --output-dir ./data
+    python -m repro.cli query --data-dir ./data --k 5 \\
+        --point 3.0 4.0 --point 5.0 4.5
+    python -m repro.cli capacity --data-dir ./data --k 5 --top 10
+    python -m repro.cli plan --data-dir ./data --k 5 --start 0 --end 17 --ratio 1.4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.core.rknnt import METHODS, RkNNTProcessor, VORONOI
+from repro.data.gtfs import (
+    load_routes_csv,
+    load_transitions_csv,
+    save_routes_csv,
+    save_transitions_csv,
+)
+from repro.data.workloads import CITY_PRESETS, make_city
+from repro.planning.graph import BusNetwork
+from repro.planning.maxrknnt import MAXIMIZE, MINIMIZE, MaxRkNNTPlanner
+from repro.planning.precompute import VertexRkNNTIndex
+
+ROUTES_FILE = "routes.csv"
+TRANSITIONS_FILE = "transitions.csv"
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reverse k Nearest Neighbor Search over Trajectories (RkNNT)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a synthetic city and save it as CSV"
+    )
+    generate.add_argument(
+        "--preset",
+        choices=sorted(CITY_PRESETS),
+        default="mini",
+        help="city preset to generate (default: mini)",
+    )
+    generate.add_argument("--scale", type=float, default=1.0, help="size multiplier")
+    generate.add_argument("--seed", type=int, default=None, help="random seed override")
+    generate.add_argument(
+        "--output-dir", required=True, help="directory for routes.csv / transitions.csv"
+    )
+
+    query = subparsers.add_parser("query", help="run one RkNNT query")
+    _add_data_arguments(query)
+    query.add_argument(
+        "--point",
+        dest="points",
+        type=float,
+        nargs=2,
+        action="append",
+        metavar=("X", "Y"),
+        required=True,
+        help="query point; repeat for multi-point queries",
+    )
+    query.add_argument(
+        "--method", choices=METHODS, default=VORONOI, help="evaluation strategy"
+    )
+    query.add_argument(
+        "--semantics", choices=("exists", "forall"), default="exists"
+    )
+
+    capacity = subparsers.add_parser(
+        "capacity", help="estimate the demand of every route"
+    )
+    _add_data_arguments(capacity)
+    capacity.add_argument(
+        "--top", type=int, default=10, help="print only the busiest N routes"
+    )
+
+    plan = subparsers.add_parser(
+        "plan", help="plan the optimal route between two stops (MaxRkNNT)"
+    )
+    _add_data_arguments(plan)
+    plan.add_argument("--start", type=int, required=True, help="start vertex id")
+    plan.add_argument("--end", type=int, required=True, help="destination vertex id")
+    plan.add_argument(
+        "--ratio",
+        type=float,
+        default=1.4,
+        help="distance budget as a multiple of the shortest path (default 1.4)",
+    )
+    plan.add_argument(
+        "--objective", choices=(MAXIMIZE, MINIMIZE), default=MAXIMIZE
+    )
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory containing routes.csv and transitions.csv",
+    )
+    parser.add_argument("--k", type=int, default=10, help="k of the RkNNT query")
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _load_datasets(data_dir: str):
+    routes_path = os.path.join(data_dir, ROUTES_FILE)
+    transitions_path = os.path.join(data_dir, TRANSITIONS_FILE)
+    for path in (routes_path, transitions_path):
+        if not os.path.exists(path):
+            raise SystemExit(f"error: missing dataset file {path}; run `generate` first")
+    return load_routes_csv(routes_path), load_transitions_csv(transitions_path)
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def command_generate(args: argparse.Namespace) -> int:
+    city, transitions = make_city(args.preset, scale=args.scale, seed=args.seed)
+    os.makedirs(args.output_dir, exist_ok=True)
+    routes_path = os.path.join(args.output_dir, ROUTES_FILE)
+    transitions_path = os.path.join(args.output_dir, TRANSITIONS_FILE)
+    save_routes_csv(city.routes, routes_path)
+    save_transitions_csv(transitions, transitions_path)
+    print(
+        f"generated preset {args.preset!r}: {len(city.routes)} routes -> {routes_path}, "
+        f"{len(transitions)} transitions -> {transitions_path}"
+    )
+    print(
+        f"bus network: {city.network.vertex_count} stops, "
+        f"{city.network.edge_count} links"
+    )
+    return 0
+
+
+def command_query(args: argparse.Namespace) -> int:
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions)
+    query_points = [tuple(point) for point in args.points]
+    result = processor.query(
+        query_points, args.k, method=args.method, semantics=args.semantics
+    )
+    print(
+        f"RkNNT(|Q|={len(query_points)}, k={args.k}, method={args.method}, "
+        f"semantics={args.semantics}): {len(result)} transitions"
+    )
+    rows = []
+    for transition_id in sorted(result.transition_ids):
+        transition = transitions.get(transition_id)
+        rows.append(
+            {
+                "transition": transition_id,
+                "origin": f"({transition.origin.x:.3f}, {transition.origin.y:.3f})",
+                "destination": (
+                    f"({transition.destination.x:.3f}, {transition.destination.y:.3f})"
+                ),
+                "endpoints": "".join(sorted(result.confirmed_endpoints[transition_id])),
+            }
+        )
+    if rows:
+        print(format_table(rows))
+    print(
+        f"filtering {result.stats.filtering_seconds * 1000:.1f} ms, "
+        f"verification {result.stats.verification_seconds * 1000:.1f} ms, "
+        f"{result.stats.candidates} candidates"
+    )
+    return 0
+
+
+def command_capacity(args: argparse.Namespace) -> int:
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions)
+    rows = []
+    for route in routes:
+        result = processor.query(route, args.k, method=VORONOI)
+        rows.append(
+            {
+                "route": route.route_id,
+                "name": route.name or "",
+                "stops": len(route),
+                "length": route.travel_distance,
+                "riders_exists": len(result.exists_ids()),
+                "riders_forall": len(result.forall_ids()),
+            }
+        )
+    rows.sort(key=lambda row: -row["riders_exists"])
+    print(
+        format_table(
+            rows[: args.top],
+            title=f"estimated demand per route (top {min(args.top, len(rows))}, k={args.k})",
+        )
+    )
+    return 0
+
+
+def command_plan(args: argparse.Namespace) -> int:
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions)
+    network = BusNetwork.from_routes(routes)
+    if args.start not in network or args.end not in network:
+        raise SystemExit(
+            f"error: start/end must be vertex ids in [0, {network.vertex_count})"
+        )
+    vertex_index = VertexRkNNTIndex(network, processor, k=args.k)
+    vertex_index.build()
+    shortest = vertex_index.shortest_distance(args.start, args.end)
+    if shortest == float("inf"):
+        raise SystemExit("error: destination is not reachable from the start vertex")
+    tau = shortest * args.ratio
+    planner = MaxRkNNTPlanner(network, vertex_index)
+    planned = planner.plan(args.start, args.end, tau, objective=args.objective)
+    if planned is None:
+        raise SystemExit("error: no route satisfies the distance budget")
+    print(
+        f"{args.objective}RkNNT route from {args.start} to {args.end} "
+        f"(shortest {shortest:.3f}, budget {tau:.3f}):"
+    )
+    print(f"  stops:       {' -> '.join(str(v) for v in planned.vertices)}")
+    print(f"  distance:    {planned.travel_distance:.3f}")
+    print(f"  passengers:  {planned.passengers}")
+    print(
+        f"  search:      {planned.stats.seconds * 1000:.1f} ms, "
+        f"{planned.stats.expansions} expansions"
+    )
+    return 0
+
+
+COMMANDS = {
+    "generate": command_generate,
+    "query": command_query,
+    "capacity": command_capacity,
+    "plan": command_plan,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

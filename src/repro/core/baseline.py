@@ -1,0 +1,102 @@
+"""Brute-force RkNNT baseline (the "straightforward method" of Section 1).
+
+For every transition endpoint, run a k nearest route search and check whether
+the query would be among the k nearest routes.  This is intractable at scale
+— which is the paper's motivation for the filter-refine framework — but it is
+exact, simple, and serves two purposes here:
+
+* the correctness oracle for the property-based tests, and
+* the unoptimised comparison point in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.result import RkNNTResult
+from repro.core.semantics import EXISTS, Semantics
+from repro.core.stats import QueryStatistics
+from repro.geometry.point import point_to_points_distance
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+
+import time
+
+QueryLike = Union[Route, Sequence[Sequence[float]]]
+
+
+def knn_of_point_bruteforce(
+    routes: RouteDataset,
+    point: Sequence[float],
+    k: int,
+    exclude_route_ids: Optional[Set[int]] = None,
+) -> List[Tuple[float, int]]:
+    """k nearest routes of ``point`` by scanning every route (Definition 4)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    excluded = exclude_route_ids or set()
+    distances = [
+        (route.distance_to_point(point), route.route_id)
+        for route in routes
+        if route.route_id not in excluded
+    ]
+    distances.sort()
+    return distances[:k]
+
+
+def _query_distance(point: Sequence[float], query_points: Sequence[Sequence[float]]) -> float:
+    return point_to_points_distance(point, query_points)
+
+
+def rknnt_bruteforce(
+    routes: RouteDataset,
+    transitions: TransitionDataset,
+    query: QueryLike,
+    k: int,
+    semantics: Union[Semantics, str] = EXISTS,
+    exclude_route_ids: Optional[Iterable[int]] = None,
+) -> RkNNTResult:
+    """Exact RkNNT by running a kNN check for every transition endpoint.
+
+    An endpoint is confirmed when strictly fewer than ``k`` routes are
+    strictly closer to it than the query route — the same tie handling as the
+    filter-refine framework, so results are directly comparable.
+    """
+    semantics = Semantics.coerce(semantics)
+    if isinstance(query, Route):
+        query_points = [(p.x, p.y) for p in query.points]
+    else:
+        query_points = [(float(p[0]), float(p[1])) for p in query]
+    if not query_points:
+        raise ValueError("query must contain at least one point")
+
+    excluded = set(exclude_route_ids or ())
+    if isinstance(query, Route) and query.route_id in routes:
+        excluded.add(query.route_id)
+
+    stats = QueryStatistics()
+    started = time.perf_counter()
+    confirmed: Dict[int, Set[str]] = {}
+    candidate_routes = [
+        route for route in routes if route.route_id not in excluded
+    ]
+    for transition in transitions:
+        for endpoint_label, point in (
+            ("o", transition.origin),
+            ("d", transition.destination),
+        ):
+            threshold = _query_distance(point, query_points)
+            closer = 0
+            for route in candidate_routes:
+                if route.distance_to_point(point) < threshold:
+                    closer += 1
+                    if closer >= k:
+                        break
+            stats.candidates += 1
+            if closer < k:
+                confirmed.setdefault(transition.transition_id, set()).add(
+                    endpoint_label
+                )
+                stats.confirmed_points += 1
+    stats.verification_seconds = time.perf_counter() - started
+    return RkNNTResult.from_confirmed(confirmed, semantics, k, stats)

@@ -1,0 +1,152 @@
+"""k nearest route search for a single point (Definition 4).
+
+These helpers are the building blocks of both the brute-force RkNNT baseline
+and the exact verification step of the filter-refine framework:
+
+* :func:`k_nearest_routes` — the k routes nearest to a point, deduplicated by
+  route id, found with a best-first RR-tree traversal;
+* :func:`count_routes_within` — how many *distinct* routes lie strictly
+  closer to a point than a given distance, with early termination at ``k``;
+* :func:`point_takes_query_as_knn` — whether the query route would be among
+  the point's k nearest routes, the predicate that defines RkNNT membership.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.point import euclidean
+from repro.index.route_index import RouteIndex
+from repro.index.rtree import RTreeEntry, RTreeNode
+
+
+def query_distance(
+    point: Sequence[float], query_points: Sequence[Sequence[float]]
+) -> float:
+    """``dist(t, Q)``: minimum distance from ``point`` to the query route."""
+    best = math.inf
+    for q in query_points:
+        d = euclidean(point, q)
+        if d < best:
+            best = d
+    return best
+
+
+def k_nearest_routes(
+    route_index: RouteIndex, point: Sequence[float], k: int
+) -> List[Tuple[float, int]]:
+    """The ``k`` routes nearest to ``point`` as ``(distance, route_id)`` pairs.
+
+    The distance to a route is the paper's point-route distance (minimum over
+    the route's points).  Results are sorted by increasing distance; ties are
+    broken by route id for determinism.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    best_by_route: Dict[int, float] = {}
+    # Best-first traversal: entries come back ordered by distance, so the
+    # first time a route id is seen, that distance is the route's distance.
+    # Once k routes are known the traversal continues only while remaining
+    # entries could still tie the current k-th distance, so that ties are
+    # resolved deterministically (by route id) like the brute-force scan.
+    for distance, entry in route_index.tree.iter_nearest(point):
+        if len(best_by_route) >= k:
+            kth_distance = sorted(best_by_route.values())[k - 1]
+            if distance > kth_distance:
+                break
+        for route_id in entry.payload:
+            if route_id not in best_by_route:
+                best_by_route[route_id] = distance
+    ranked = sorted(best_by_route.items(), key=lambda item: (item[1], item[0]))
+    return [(distance, route_id) for route_id, distance in ranked[:k]]
+
+
+def count_routes_within(
+    route_index: RouteIndex,
+    point: Sequence[float],
+    threshold: float,
+    stop_at: Optional[int] = None,
+    exclude_route_ids: Optional[Set[int]] = None,
+) -> int:
+    """Count distinct routes strictly closer to ``point`` than ``threshold``.
+
+    This is the verification primitive: a transition endpoint takes the query
+    as one of its k nearest routes exactly when fewer than ``k`` routes are
+    strictly closer to it than the query is.
+
+    The traversal uses the RR-tree and the per-node route-id sets (NList): a
+    node whose *maximum* distance to ``point`` is below ``threshold`` has all
+    of its routes closer, so they are added without opening the node.
+
+    Parameters
+    ----------
+    stop_at:
+        Early-exit bound — once this many distinct routes have been found the
+        exact count no longer matters and the function returns immediately.
+    exclude_route_ids:
+        Routes to ignore (used when the query is an existing route that is
+        still present in the index).
+    """
+    excluded = exclude_route_ids or frozenset()
+    found: Set[int] = set()
+    tree = route_index.tree
+    if len(tree) == 0 or tree.root.bbox is None:
+        return 0
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, RTreeNode]] = [
+        (tree.root.bbox.min_dist(point), next(counter), tree.root)
+    ]
+    while heap:
+        min_dist, _, node = heapq.heappop(heap)
+        if min_dist >= threshold:
+            # Every remaining node is at least this far: nothing closer left.
+            break
+        if stop_at is not None and len(found) >= stop_at:
+            break
+        assert node.bbox is not None
+        if node.bbox.max_dist(point) < threshold:
+            # NList shortcut: every route below this node is strictly closer.
+            found.update(node.payload_union - excluded)
+            continue
+        if node.is_leaf:
+            for entry in node.children:
+                assert isinstance(entry, RTreeEntry)
+                if euclidean(entry.point, point) < threshold:
+                    found.update(set(entry.payload) - excluded)
+        else:
+            for child in node.children:
+                assert isinstance(child, RTreeNode)
+                if child.bbox is None:
+                    continue
+                child_min = child.bbox.min_dist(point)
+                if child_min < threshold:
+                    heapq.heappush(heap, (child_min, next(counter), child))
+    return len(found)
+
+
+def point_takes_query_as_knn(
+    route_index: RouteIndex,
+    point: Sequence[float],
+    query_points: Sequence[Sequence[float]],
+    k: int,
+    exclude_route_ids: Optional[Set[int]] = None,
+) -> bool:
+    """True when the query route is among the k nearest routes of ``point``.
+
+    Implemented as: fewer than ``k`` distinct routes are strictly closer to
+    ``point`` than the query is (ties therefore favour the query, matching
+    the strict half-plane pruning used by the filter phase).
+    """
+    threshold = query_distance(point, query_points)
+    closer = count_routes_within(
+        route_index,
+        point,
+        threshold,
+        stop_at=k,
+        exclude_route_ids=exclude_route_ids,
+    )
+    return closer < k

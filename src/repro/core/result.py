@@ -1,0 +1,83 @@
+"""Result object returned by RkNNT queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.core.semantics import EXISTS, FORALL, Semantics
+from repro.core.stats import QueryStatistics
+
+
+@dataclass
+class RkNNTResult:
+    """Answer of an RkNNT query.
+
+    Attributes
+    ----------
+    transition_ids:
+        The ids of the transitions in the answer under the requested
+        semantics.
+    semantics:
+        Which aggregation rule (∃ or ∀) produced ``transition_ids``.
+    confirmed_endpoints:
+        Map from transition id to the set of endpoint labels (``"o"`` /
+        ``"d"``) that individually take the query as a kNN.  This is the raw
+        per-point answer from which either semantics can be derived
+        (Lemma 1), and is what MaxRkNNT's dominance check needs (it compares
+        ``|∀RkNNT|`` of one partial route against ``|∃RkNNT|`` of another).
+    k:
+        The ``k`` used by the query.
+    stats:
+        Instrumentation for the benchmark harness.
+    """
+
+    transition_ids: FrozenSet[int]
+    semantics: Semantics
+    confirmed_endpoints: Dict[int, FrozenSet[str]]
+    k: int
+    stats: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def __len__(self) -> int:
+        return len(self.transition_ids)
+
+    def __contains__(self, transition_id: int) -> bool:
+        return transition_id in self.transition_ids
+
+    def exists_ids(self) -> FrozenSet[int]:
+        """Transition ids under ∃ semantics (at least one endpoint confirmed)."""
+        return frozenset(
+            tid for tid, endpoints in self.confirmed_endpoints.items() if endpoints
+        )
+
+    def forall_ids(self) -> FrozenSet[int]:
+        """Transition ids under ∀ semantics (both endpoints confirmed)."""
+        return frozenset(
+            tid
+            for tid, endpoints in self.confirmed_endpoints.items()
+            if len(endpoints) == 2
+        )
+
+    @classmethod
+    def from_confirmed(
+        cls,
+        confirmed_endpoints: Dict[int, Set[str]],
+        semantics: Semantics,
+        k: int,
+        stats: QueryStatistics,
+    ) -> "RkNNTResult":
+        """Build a result from the per-endpoint confirmation map."""
+        frozen = {tid: frozenset(eps) for tid, eps in confirmed_endpoints.items()}
+        if semantics is FORALL:
+            ids = frozenset(
+                tid for tid, eps in frozen.items() if len(eps) == 2
+            )
+        else:
+            ids = frozenset(tid for tid, eps in frozen.items() if eps)
+        return cls(
+            transition_ids=ids,
+            semantics=semantics,
+            confirmed_endpoints=frozen,
+            k=k,
+            stats=stats,
+        )

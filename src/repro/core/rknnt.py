@@ -1,0 +1,191 @@
+"""Top-level RkNNT query interface (Algorithm 1 plus the method variants).
+
+:class:`RkNNTProcessor` owns the RR-tree and TR-tree for a pair of datasets
+and answers queries with any of the three strategies evaluated in the paper:
+
+========================  =====================================================
+method                    description
+========================  =====================================================
+``"filter-refine"``       basic half-space filtering (Section 4)
+``"voronoi"``             plus the per-route Voronoi filtering space (Sec. 5.1)
+``"divide-conquer"``      one sub-query per query point, results unioned
+                          (Section 5.2, Lemma 3)
+========================  =====================================================
+
+The processor also exposes the dynamic-update entry points (add/remove routes
+and transitions) so that the "most up-to-date transition data" requirement of
+the paper is satisfied without rebuilding the indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Union
+
+from repro.core.filtering import FilterRefineEngine
+from repro.core.result import RkNNTResult
+from repro.core.semantics import EXISTS, Semantics
+from repro.core.stats import QueryStatistics
+from repro.index.route_index import RouteIndex
+from repro.index.transition_index import TransitionIndex
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+QueryLike = Union[Route, Sequence[Sequence[float]]]
+
+FILTER_REFINE = "filter-refine"
+VORONOI = "voronoi"
+DIVIDE_CONQUER = "divide-conquer"
+METHODS = (FILTER_REFINE, VORONOI, DIVIDE_CONQUER)
+
+
+def as_query_points(query: QueryLike) -> list:
+    """Normalise a query (Route or point sequence) into a list of points."""
+    if isinstance(query, Route):
+        return [(p.x, p.y) for p in query.points]
+    points = [(float(p[0]), float(p[1])) for p in query]
+    if not points:
+        raise ValueError("query must contain at least one point")
+    return points
+
+
+class RkNNTProcessor:
+    """Answers RkNNT queries over a route set and a transition set.
+
+    Parameters
+    ----------
+    routes:
+        The route dataset ``DR``.
+    transitions:
+        The transition dataset ``DT``.
+    max_entries:
+        Fanout of both R-trees.
+    exclude_route_ids:
+        Route ids excluded from the RR-tree (used when querying with an
+        existing route, mirroring the paper's "remove the points of this
+        route from the RR-tree index before running each query").
+    """
+
+    def __init__(
+        self,
+        routes: RouteDataset,
+        transitions: TransitionDataset,
+        max_entries: int = 16,
+        exclude_route_ids: Optional[Iterable[int]] = None,
+    ):
+        self.routes = routes
+        self.transitions = transitions
+        self._excluded: Set[int] = set(exclude_route_ids or ())
+        self.route_index = RouteIndex(
+            routes, max_entries=max_entries, exclude_route_ids=self._excluded
+        )
+        self.transition_index = TransitionIndex(transitions, max_entries=max_entries)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def add_route(self, route: Route) -> None:
+        """Add a new route to the dataset and the RR-tree."""
+        self.routes.add(route)
+        self.route_index.add_route(route)
+
+    def remove_route(self, route_id: int) -> Route:
+        """Remove a route from the dataset and the RR-tree."""
+        route = self.routes.remove(route_id)
+        self.route_index.remove_route(route)
+        return route
+
+    def add_transition(self, transition: Transition) -> None:
+        """Add a new transition (e.g. an incoming ride request)."""
+        self.transitions.add(transition)
+        self.transition_index.add_transition(transition)
+
+    def remove_transition(self, transition_id: int) -> Transition:
+        """Remove an expired transition."""
+        transition = self.transitions.remove(transition_id)
+        self.transition_index.remove_transition(transition)
+        return transition
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: QueryLike,
+        k: int,
+        method: str = VORONOI,
+        semantics: Union[Semantics, str] = EXISTS,
+        exclude_route_ids: Optional[Iterable[int]] = None,
+    ) -> RkNNTResult:
+        """Answer ``RkNNT(query)`` with the chosen method and semantics.
+
+        Parameters
+        ----------
+        query:
+            A :class:`~repro.model.route.Route` or a sequence of points.
+        k:
+            Number of nearest routes considered per transition endpoint.
+        method:
+            One of ``"filter-refine"``, ``"voronoi"`` or ``"divide-conquer"``.
+        semantics:
+            ``"exists"`` (default) or ``"forall"``.
+        exclude_route_ids:
+            Extra routes to ignore for this query only (combined with the
+            construction-time exclusions).  If the query is an existing route
+            of the dataset, pass its id here so it does not compete with
+            itself.
+        """
+        semantics = Semantics.coerce(semantics)
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        query_points = as_query_points(query)
+        excluded = set(self._excluded)
+        if exclude_route_ids is not None:
+            excluded.update(exclude_route_ids)
+        if isinstance(query, Route) and query.route_id in self.routes:
+            excluded.add(query.route_id)
+
+        if method == DIVIDE_CONQUER:
+            from repro.core.divide_conquer import rknnt_divide_conquer
+
+            return rknnt_divide_conquer(
+                self.route_index,
+                self.transition_index,
+                query_points,
+                k,
+                semantics=semantics,
+                exclude_route_ids=excluded,
+            )
+
+        engine = FilterRefineEngine(
+            self.route_index,
+            self.transition_index,
+            k,
+            use_voronoi=(method == VORONOI),
+            exclude_route_ids=excluded,
+        )
+        confirmed = engine.run(query_points)
+        return RkNNTResult.from_confirmed(confirmed, semantics, k, engine.stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"RkNNTProcessor(routes={len(self.routes)}, "
+            f"transitions={len(self.transitions)})"
+        )
+
+
+def rknnt_query(
+    routes: RouteDataset,
+    transitions: TransitionDataset,
+    query: QueryLike,
+    k: int,
+    method: str = VORONOI,
+    semantics: Union[Semantics, str] = EXISTS,
+) -> RkNNTResult:
+    """One-shot convenience wrapper building the indexes and running a query.
+
+    Prefer :class:`RkNNTProcessor` when issuing many queries over the same
+    datasets — the indexes are then built once and reused.
+    """
+    processor = RkNNTProcessor(routes, transitions)
+    return processor.query(query, k, method=method, semantics=semantics)

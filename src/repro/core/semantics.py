@@ -1,0 +1,39 @@
+"""Query semantics: ∃RkNNT versus ∀RkNNT (Definition 5).
+
+The paper supports two result semantics for a transition ``T = {t_o, t_d}``:
+
+* **∃RkNNT** — ``T`` is a result when *at least one* of its endpoints takes
+  the query among its k nearest routes (the default in the paper and here).
+* **∀RkNNT** — ``T`` is a result when *both* endpoints take the query among
+  their k nearest routes.
+
+By Lemma 1, ``∀RkNNT(Q) ⊆ ∃RkNNT(Q)``, so a single framework computes the
+per-endpoint answers and the semantics only changes the final aggregation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Semantics(enum.Enum):
+    """Result aggregation rule over the two endpoints of a transition."""
+
+    EXISTS = "exists"
+    FORALL = "forall"
+
+    @classmethod
+    def coerce(cls, value: "Semantics | str") -> "Semantics":
+        """Accept either a :class:`Semantics` member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown semantics {value!r}; expected 'exists' or 'forall'"
+            ) from None
+
+
+EXISTS = Semantics.EXISTS
+FORALL = Semantics.FORALL

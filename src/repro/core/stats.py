@@ -1,0 +1,72 @@
+"""Per-query instrumentation used by the benchmark harness.
+
+Figures 10, 12 and 15 of the paper break running time down into a *filtering*
+phase and a *verification* phase; the statistics object below records those
+timings plus the counters that explain them (nodes visited, candidates kept,
+filter points collected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryStatistics:
+    """Counters and timings collected while answering one RkNNT query."""
+
+    #: Wall-clock seconds spent generating the filter set and pruning the
+    #: TR-tree (the paper's "Filtering" bar).
+    filtering_seconds: float = 0.0
+    #: Wall-clock seconds spent verifying candidates (the "Verification" bar).
+    verification_seconds: float = 0.0
+    #: Route R-tree nodes popped during FilterRoute.
+    route_nodes_visited: int = 0
+    #: Transition R-tree nodes popped during PruneTransition.
+    transition_nodes_visited: int = 0
+    #: Route points added to the filtering set.
+    filter_points: int = 0
+    #: R-tree nodes pruned (route tree + transition tree).
+    nodes_pruned: int = 0
+    #: Transition endpoints that survived pruning and required verification.
+    candidates: int = 0
+    #: Transition endpoints confirmed as taking the query as a kNN.
+    confirmed_points: int = 0
+    #: Number of sub-queries issued (only > 1 for divide & conquer).
+    subqueries: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Total measured time (filtering + verification)."""
+        return self.filtering_seconds + self.verification_seconds
+
+    def merge(self, other: "QueryStatistics") -> None:
+        """Accumulate another query's statistics into this one (in place).
+
+        Used by divide & conquer, which answers one sub-query per query point
+        and reports aggregate statistics.
+        """
+        self.filtering_seconds += other.filtering_seconds
+        self.verification_seconds += other.verification_seconds
+        self.route_nodes_visited += other.route_nodes_visited
+        self.transition_nodes_visited += other.transition_nodes_visited
+        self.filter_points += other.filter_points
+        self.nodes_pruned += other.nodes_pruned
+        self.candidates += other.candidates
+        self.confirmed_points += other.confirmed_points
+        self.subqueries += other.subqueries
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, convenient for benchmark CSV/JSON output."""
+        return {
+            "filtering_seconds": self.filtering_seconds,
+            "verification_seconds": self.verification_seconds,
+            "total_seconds": self.total_seconds,
+            "route_nodes_visited": self.route_nodes_visited,
+            "transition_nodes_visited": self.transition_nodes_visited,
+            "filter_points": self.filter_points,
+            "nodes_pruned": self.nodes_pruned,
+            "candidates": self.candidates,
+            "confirmed_points": self.confirmed_points,
+            "subqueries": self.subqueries,
+        }

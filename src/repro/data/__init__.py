@@ -1,0 +1,33 @@
+"""Data substrate: synthetic cities, transitions, GTFS-like IO and workloads.
+
+The paper evaluates on the NYC and LA GTFS bus networks plus Foursquare
+check-in transitions.  Those datasets cannot be bundled here, so this package
+provides generators that reproduce their structural properties at a
+configurable scale (see DESIGN.md, "Substitutions") together with a small
+GTFS-like loader for users who do have real data on disk.
+"""
+
+from repro.data.synthetic import CityGenerator, SyntheticCity
+from repro.data.checkins import TransitionGenerator
+from repro.data.gtfs import (
+    load_routes_csv,
+    save_routes_csv,
+    load_transitions_csv,
+    save_transitions_csv,
+    load_gtfs_directory,
+)
+from repro.data.workloads import QueryWorkload, make_city, CITY_PRESETS
+
+__all__ = [
+    "CityGenerator",
+    "SyntheticCity",
+    "TransitionGenerator",
+    "load_routes_csv",
+    "save_routes_csv",
+    "load_transitions_csv",
+    "save_transitions_csv",
+    "load_gtfs_directory",
+    "QueryWorkload",
+    "make_city",
+    "CITY_PRESETS",
+]

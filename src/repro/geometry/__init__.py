@@ -1,0 +1,52 @@
+"""Geometric primitives used throughout the RkNNT library.
+
+The paper's pruning machinery is built on three geometric ideas:
+
+* Euclidean distances between points (:mod:`repro.geometry.point`),
+* minimum bounding rectangles for R-tree nodes (:mod:`repro.geometry.bbox`),
+* half-plane tests derived from perpendicular bisectors
+  (:mod:`repro.geometry.halfspace`) and their per-route generalisation, the
+  Voronoi filtering predicate (:mod:`repro.geometry.voronoi`).
+
+All primitives are implemented from scratch (no shapely dependency) and are
+deliberately small, allocation-light classes so that the filter-refine
+algorithms remain fast in pure Python.
+"""
+
+from repro.geometry.point import (
+    Point,
+    euclidean,
+    squared_euclidean,
+    point_to_points_distance,
+    midpoint,
+)
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.halfspace import (
+    HalfPlane,
+    bisector_halfplane,
+    point_closer_to,
+    bbox_inside_halfplane,
+    filtering_space_contains_point,
+    filtering_space_contains_bbox,
+)
+from repro.geometry.voronoi import (
+    voronoi_prunes_point,
+    voronoi_prunes_bbox,
+)
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "squared_euclidean",
+    "point_to_points_distance",
+    "midpoint",
+    "BoundingBox",
+    "HalfPlane",
+    "bisector_halfplane",
+    "point_closer_to",
+    "bbox_inside_halfplane",
+    "filtering_space_contains_point",
+    "filtering_space_contains_bbox",
+    "voronoi_prunes_point",
+    "voronoi_prunes_bbox",
+]

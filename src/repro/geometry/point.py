@@ -1,0 +1,107 @@
+"""Planar points and distance helpers.
+
+Points are represented as plain ``(x, y)`` tuples throughout the hot paths of
+the library; the :class:`Point` named-tuple provides a readable wrapper for
+public API surfaces while remaining a tuple (so both representations are
+interchangeable).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, NamedTuple, Sequence, Tuple
+
+Coordinate = Tuple[float, float]
+
+
+class Point(NamedTuple):
+    """A planar point.
+
+    ``Point`` is a :class:`typing.NamedTuple`, therefore it *is* a tuple and
+    can be used anywhere a raw ``(x, y)`` pair is accepted.
+
+    Attributes
+    ----------
+    x:
+        Horizontal coordinate (longitude in the paper's datasets).
+    y:
+        Vertical coordinate (latitude in the paper's datasets).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: Sequence[float]) -> float:
+        """Euclidean distance from this point to ``other``."""
+        return euclidean(self, other)
+
+    def squared_distance_to(self, other: Sequence[float]) -> float:
+        """Squared Euclidean distance from this point to ``other``."""
+        return squared_euclidean(self, other)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two planar points.
+
+    Parameters
+    ----------
+    a, b:
+        Any length-2 sequences of floats.
+    """
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.hypot(dx, dy)
+
+
+def squared_euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt when only comparing)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def point_to_points_distance(
+    point: Sequence[float], points: Iterable[Sequence[float]]
+) -> float:
+    """Minimum Euclidean distance from ``point`` to a collection of points.
+
+    This is the paper's point-route distance (Definition 3):
+    ``dist(t, R) = min_{r in R} distance(t, r)``.
+
+    Raises
+    ------
+    ValueError
+        If ``points`` is empty.
+    """
+    best = math.inf
+    px, py = point[0], point[1]
+    for other in points:
+        dx = px - other[0]
+        dy = py - other[1]
+        d = dx * dx + dy * dy
+        if d < best:
+            best = d
+    if best is math.inf:
+        raise ValueError("point_to_points_distance() requires at least one point")
+    return math.sqrt(best)
+
+
+def midpoint(a: Sequence[float], b: Sequence[float]) -> Point:
+    """Midpoint of the segment joining ``a`` and ``b``."""
+    return Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def path_length(points: Sequence[Sequence[float]]) -> float:
+    """Total polyline length of a sequence of points.
+
+    Matches the paper's travel distance ``ψ(R)`` (Equation 6) when applied to
+    a route's stop sequence.
+    """
+    total = 0.0
+    for first, second in zip(points, points[1:]):
+        total += euclidean(first, second)
+    return total

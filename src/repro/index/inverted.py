@@ -1,0 +1,115 @@
+"""Inverted lists used alongside the R-trees (Section 4.1.2).
+
+* :class:`PointList` (the paper's *PList*) maps each distinct route-point
+  location to the set of route ids covering it.  In a bus network many routes
+  share stops, so a single filtering point can rule out several routes at
+  once (its *crossover route set*, Definition 7).
+* :class:`NodeList` (the paper's *NList*) maps every RR-tree node to the set
+  of route ids that have at least one point inside the node; it is used
+  during verification to add many "closer" routes at once without opening
+  the node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Set, Tuple
+
+from repro.index.rtree import RTreeNode
+
+PointKey = Tuple[float, float]
+
+
+def point_key(point: Sequence[float]) -> PointKey:
+    """Canonical dictionary key for a point location."""
+    return (float(point[0]), float(point[1]))
+
+
+class PointList:
+    """Inverted list from route-point location to covering route ids (PList)."""
+
+    def __init__(self) -> None:
+        self._routes_by_point: Dict[PointKey, Set[int]] = {}
+
+    def add(self, point: Sequence[float], route_id: int) -> None:
+        """Register that ``route_id`` passes through ``point``."""
+        self._routes_by_point.setdefault(point_key(point), set()).add(route_id)
+
+    def discard(self, point: Sequence[float], route_id: int) -> None:
+        """Remove a route from a point's crossover set (no-op if absent)."""
+        key = point_key(point)
+        routes = self._routes_by_point.get(key)
+        if routes is None:
+            return
+        routes.discard(route_id)
+        if not routes:
+            del self._routes_by_point[key]
+
+    def crossover_routes(self, point: Sequence[float]) -> FrozenSet[int]:
+        """Crossover route set ``C(r)`` of a point (Definition 7)."""
+        return frozenset(self._routes_by_point.get(point_key(point), frozenset()))
+
+    def crossover_degree(self, point: Sequence[float]) -> int:
+        """``|C(r)|``: number of routes covering the point."""
+        return len(self._routes_by_point.get(point_key(point), ()))
+
+    def points(self) -> Iterator[PointKey]:
+        """Iterate all distinct point locations."""
+        return iter(self._routes_by_point)
+
+    def __len__(self) -> int:
+        return len(self._routes_by_point)
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return point_key(point) in self._routes_by_point
+
+    def __repr__(self) -> str:
+        return f"PointList(points={len(self)})"
+
+
+class NodeList:
+    """Per-node route-id sets for an RR-tree (NList).
+
+    The generic R-tree already maintains ``payload_union`` per node when
+    constructed with ``track_payload_union=True``; this class is a thin
+    façade exposing that information under the paper's terminology and adds
+    the bottom-up construction for trees built without tracking.
+    """
+
+    def __init__(self) -> None:
+        self._routes_by_node: Dict[int, FrozenSet[int]] = {}
+
+    @classmethod
+    def build(cls, root: RTreeNode) -> "NodeList":
+        """Build the NList bottom-up from an RR-tree root."""
+        node_list = cls()
+        node_list._collect(root)
+        return node_list
+
+    def _collect(self, node: RTreeNode) -> FrozenSet[int]:
+        merged: Set[int] = set()
+        if node.is_leaf:
+            for entry in node.children:
+                merged.update(entry.payload)  # type: ignore[union-attr]
+        else:
+            for child in node.children:
+                merged.update(self._collect(child))  # type: ignore[arg-type]
+        frozen = frozenset(merged)
+        self._routes_by_node[id(node)] = frozen
+        return frozen
+
+    def routes_in_node(self, node: RTreeNode) -> FrozenSet[int]:
+        """Route ids with at least one point inside ``node``.
+
+        Falls back to the node's live ``payload_union`` when the node was
+        created after this NList was built (dynamic insertions).
+        """
+        cached = self._routes_by_node.get(id(node))
+        if cached is not None:
+            return cached
+        return node.payload_union
+
+    def __len__(self) -> int:
+        return len(self._routes_by_node)
+
+    def __repr__(self) -> str:
+        return f"NodeList(nodes={len(self)})"

@@ -1,0 +1,143 @@
+"""The RR-tree: the R-tree over route points plus PList/NList (Section 4.1.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.inverted import PointList, point_key
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+from repro.model.dataset import RouteDataset
+from repro.model.route import Route
+
+
+class RouteIndex:
+    """Spatial index over a :class:`~repro.model.dataset.RouteDataset`.
+
+    The index consists of:
+
+    * the **RR-tree**: an R-tree whose leaf entries are distinct route-point
+      locations, each carrying the set of route ids covering it;
+    * the **PList**: point location → crossover route set;
+    * the **NList**: per RR-tree node, the set of route ids below the node,
+      maintained automatically through the tree's payload-union tracking.
+
+    The index is dynamic: routes can be added and removed after construction,
+    matching the paper's requirement of supporting continuously arriving
+    data.
+
+    Parameters
+    ----------
+    routes:
+        The dataset to index.
+    max_entries:
+        R-tree fanout.
+    exclude_route_ids:
+        Optional set of route ids to leave out of the index.  The experiments
+        with "real route queries" remove the query route's own points from
+        the RR-tree before searching; this parameter supports that without
+        mutating the underlying dataset.
+    """
+
+    def __init__(
+        self,
+        routes: RouteDataset,
+        max_entries: int = 16,
+        exclude_route_ids: Optional[Iterable[int]] = None,
+    ):
+        self.routes = routes
+        self.max_entries = max_entries
+        self._excluded: Set[int] = set(exclude_route_ids or ())
+        self.plist = PointList()
+        self.tree = self._build_tree()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_tree(self) -> RTree:
+        routes_by_point: Dict[Tuple[float, float], Set[int]] = {}
+        for route in self.routes:
+            if route.route_id in self._excluded:
+                continue
+            for point in route.points:
+                key = point_key(point)
+                routes_by_point.setdefault(key, set()).add(route.route_id)
+                self.plist.add(point, route.route_id)
+        entries = [
+            RTreeEntry(location, frozenset(route_ids))
+            for location, route_ids in routes_by_point.items()
+        ]
+        return RTree.bulk_load(
+            entries,
+            max_entries=self.max_entries,
+            track_payload_union=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def add_route(self, route: Route) -> None:
+        """Index a route that was appended to the dataset after construction."""
+        if route.route_id in self._excluded:
+            return
+        for point in route.points:
+            key = point_key(point)
+            existing = self._find_entry(key)
+            if existing is not None:
+                # Replace the payload with an enlarged crossover set.
+                self.tree.remove(key, match=lambda e: e is existing)
+                new_ids = frozenset(set(existing.payload) | {route.route_id})
+                self.tree.insert(RTreeEntry(key, new_ids))
+            else:
+                self.tree.insert(RTreeEntry(key, frozenset({route.route_id})))
+            self.plist.add(point, route.route_id)
+
+    def remove_route(self, route: Route) -> None:
+        """Remove a route's points from the index."""
+        for point in route.points:
+            key = point_key(point)
+            existing = self._find_entry(key)
+            if existing is None:
+                continue
+            remaining = set(existing.payload) - {route.route_id}
+            self.tree.remove(key, match=lambda e: e is existing)
+            if remaining:
+                self.tree.insert(RTreeEntry(key, frozenset(remaining)))
+            self.plist.discard(point, route.route_id)
+
+    def _find_entry(self, key: Tuple[float, float]) -> Optional[RTreeEntry]:
+        box = BoundingBox.from_point(key)
+        for entry in self.tree.range_search(box):
+            if entry.point == key:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Accessors used by the search algorithms
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RTreeNode:
+        """Root of the RR-tree."""
+        return self.tree.root
+
+    def crossover_routes(self, point: Sequence[float]) -> FrozenSet[int]:
+        """Crossover route set ``C(r)`` of a route point (Definition 7)."""
+        return self.plist.crossover_routes(point)
+
+    def routes_in_node(self, node: RTreeNode) -> FrozenSet[int]:
+        """NList lookup: route ids having at least one point inside ``node``."""
+        return node.payload_union
+
+    def route_points(self, route_id: int) -> Tuple[Tuple[float, float], ...]:
+        """Point locations of a route (as indexed)."""
+        return tuple(point_key(p) for p in self.routes.get(route_id).points)
+
+    def distinct_point_count(self) -> int:
+        """Number of distinct route-point locations in the RR-tree."""
+        return len(self.tree)
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteIndex(routes={len(self.routes)}, "
+            f"points={len(self.tree)}, excluded={len(self._excluded)})"
+        )

@@ -1,0 +1,627 @@
+"""An in-memory R-tree for planar points.
+
+The paper relies on two R-trees (the RR-tree over route points and the
+TR-tree over transition points).  No external R-tree library is assumed, so
+this module implements the classic structure from scratch:
+
+* STR (Sort-Tile-Recursive) bulk loading for building an index over an
+  existing dataset in one pass,
+* dynamic insertion with least-enlargement subtree choice and quadratic node
+  splitting (Guttman's R-tree), so the index supports the paper's dynamic
+  transition updates,
+* deletion with under-full node condensation and re-insertion,
+* best-first (MinDist ordered) traversal, the primitive behind the
+  ``FilterRoute`` and ``PruneTransition`` algorithms,
+* optional maintenance of the union of entry payload sets per node, which the
+  route index uses as the paper's ``NList``.
+
+Only point data is stored (every leaf entry is a degenerate rectangle), which
+matches how the paper indexes routes and transitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import (
+    Any,
+    Callable,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.geometry.bbox import BoundingBox
+
+__all__ = ["RTree", "RTreeNode", "RTreeEntry"]
+
+
+class RTreeEntry:
+    """A leaf entry: a point plus an arbitrary payload.
+
+    Attributes
+    ----------
+    point:
+        The indexed ``(x, y)`` location.
+    payload:
+        Arbitrary application data.  When the owning tree is created with
+        ``track_payload_union=True`` the payload must be a set-like of
+        hashables (the RR-tree stores the set of route ids covering the
+        point, the TR-tree stores ``(transition_id, endpoint)`` tags).
+    """
+
+    __slots__ = ("point", "payload")
+
+    def __init__(self, point: Sequence[float], payload: Any):
+        self.point = (float(point[0]), float(point[1]))
+        self.payload = payload
+
+    @property
+    def bbox(self) -> BoundingBox:
+        """Degenerate bounding box of the entry's point."""
+        return BoundingBox.from_point(self.point)
+
+    def __repr__(self) -> str:
+        return f"RTreeEntry(point={self.point}, payload={self.payload!r})"
+
+
+class RTreeNode:
+    """An internal or leaf node of the R-tree."""
+
+    __slots__ = ("is_leaf", "children", "bbox", "parent", "payload_union")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        # Children are RTreeEntry for leaves, RTreeNode for internal nodes.
+        self.children: List[Union["RTreeNode", RTreeEntry]] = []
+        self.bbox: Optional[BoundingBox] = None
+        self.parent: Optional["RTreeNode"] = None
+        # Union of the payload sets of every entry below this node (NList).
+        self.payload_union: FrozenSet[Any] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Maintenance helpers
+    # ------------------------------------------------------------------
+    def recompute_bbox(self) -> None:
+        """Recompute this node's bounding box from its children."""
+        if not self.children:
+            self.bbox = None
+            return
+        if self.is_leaf:
+            self.bbox = BoundingBox.from_points(
+                child.point for child in self.children  # type: ignore[union-attr]
+            )
+        else:
+            self.bbox = BoundingBox.union_all(
+                child.bbox for child in self.children  # type: ignore[union-attr]
+            )
+
+    def recompute_payload_union(self) -> None:
+        """Recompute the union of payload sets of the subtree (one level)."""
+        merged: Set[Any] = set()
+        if self.is_leaf:
+            for child in self.children:
+                merged.update(child.payload)  # type: ignore[union-attr]
+        else:
+            for child in self.children:
+                merged.update(child.payload_union)  # type: ignore[union-attr]
+        self.payload_union = frozenset(merged)
+
+    def entries(self) -> Iterator[RTreeEntry]:
+        """Iterate every leaf entry below this node (depth-first)."""
+        if self.is_leaf:
+            yield from self.children  # type: ignore[misc]
+        else:
+            for child in self.children:
+                yield from child.entries()  # type: ignore[union-attr]
+
+    def leaf_count(self) -> int:
+        """Number of leaf entries below this node."""
+        if self.is_leaf:
+            return len(self.children)
+        return sum(child.leaf_count() for child in self.children)  # type: ignore[union-attr]
+
+    def height(self) -> int:
+        """Height of the subtree rooted at this node (leaf = 1)."""
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.height() for child in self.children)  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"RTreeNode({kind}, children={len(self.children)})"
+
+
+class RTree:
+    """Dynamic R-tree over planar points.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum fanout of a node; nodes exceeding it are split.
+    min_entries:
+        Minimum fill of a node after a split / deletion; defaults to
+        ``max_entries // 2``.
+    track_payload_union:
+        When True every node maintains ``payload_union``: the union of the
+        payload sets of all entries in its subtree (the paper's ``NList``).
+        Payloads must then be iterables of hashables.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 16,
+        min_entries: Optional[int] = None,
+        track_payload_union: bool = False,
+    ):
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max(2, max_entries // 2)
+        )
+        if self.min_entries * 2 > self.max_entries:
+            raise ValueError(
+                "min_entries must not exceed half of max_entries "
+                f"(got {self.min_entries} vs {self.max_entries})"
+            )
+        self.track_payload_union = track_payload_union
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Size / iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        # An empty tree is falsy; avoids surprising `if tree:` behaviour.
+        return self._size > 0
+
+    def entries(self) -> Iterator[RTreeEntry]:
+        """Iterate over every leaf entry in the tree."""
+        if self._size:
+            yield from self.root.entries()
+
+    @property
+    def bbox(self) -> Optional[BoundingBox]:
+        """Bounding box of the whole tree (None when empty)."""
+        return self.root.bbox
+
+    def height(self) -> int:
+        """Height of the tree (1 for a tree that is a single leaf)."""
+        return self.root.height()
+
+    # ------------------------------------------------------------------
+    # Bulk loading (STR)
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Iterable[RTreeEntry],
+        max_entries: int = 16,
+        min_entries: Optional[int] = None,
+        track_payload_union: bool = False,
+    ) -> "RTree":
+        """Build a tree over ``entries`` using Sort-Tile-Recursive packing.
+
+        STR produces well-filled, square-ish nodes which keeps MinDist bounds
+        tight; it is the standard way to build an R-tree over a known dataset.
+        """
+        tree = cls(
+            max_entries=max_entries,
+            min_entries=min_entries,
+            track_payload_union=track_payload_union,
+        )
+        entry_list = list(entries)
+        tree._size = len(entry_list)
+        if not entry_list:
+            return tree
+
+        # Pack leaf level.
+        leaves = tree._pack_level_leaf(entry_list)
+        # Pack internal levels until a single root remains.
+        level: List[RTreeNode] = leaves
+        while len(level) > 1:
+            level = tree._pack_level_internal(level)
+        tree.root = level[0]
+        tree.root.parent = None
+        return tree
+
+    def _pack_level_leaf(self, entry_list: List[RTreeEntry]) -> List[RTreeNode]:
+        groups = _str_partition(
+            entry_list, self.max_entries, key=lambda e: e.point
+        )
+        leaves = []
+        for group in groups:
+            node = RTreeNode(is_leaf=True)
+            node.children = list(group)
+            node.recompute_bbox()
+            if self.track_payload_union:
+                node.recompute_payload_union()
+            leaves.append(node)
+        return leaves
+
+    def _pack_level_internal(self, nodes: List[RTreeNode]) -> List[RTreeNode]:
+        groups = _str_partition(
+            nodes, self.max_entries, key=lambda n: n.bbox.center
+        )
+        parents = []
+        for group in groups:
+            parent = RTreeNode(is_leaf=False)
+            parent.children = list(group)
+            for child in group:
+                child.parent = parent
+            parent.recompute_bbox()
+            if self.track_payload_union:
+                parent.recompute_payload_union()
+            parents.append(parent)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, entry: RTreeEntry) -> None:
+        """Insert a single leaf entry (Guttman insertion with quadratic split)."""
+        leaf = self._choose_leaf(self.root, entry)
+        leaf.children.append(entry)
+        self._size += 1
+        self._adjust_upwards(leaf, new_entry=entry)
+
+    def insert_point(self, point: Sequence[float], payload: Any) -> RTreeEntry:
+        """Convenience wrapper creating and inserting an entry."""
+        entry = RTreeEntry(point, payload)
+        self.insert(entry)
+        return entry
+
+    def _choose_leaf(self, node: RTreeNode, entry: RTreeEntry) -> RTreeNode:
+        while not node.is_leaf:
+            entry_box = entry.bbox
+            best_child = None
+            best_enlargement = math.inf
+            best_area = math.inf
+            for child in node.children:
+                assert isinstance(child, RTreeNode)
+                enlargement = child.bbox.enlargement(entry_box)
+                area = child.bbox.area
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_child = child
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best_child is not None
+            node = best_child
+        return node
+
+    def _adjust_upwards(
+        self, node: RTreeNode, new_entry: Optional[RTreeEntry] = None
+    ) -> None:
+        """Propagate bbox/payload updates and splits from ``node`` to the root."""
+        while node is not None:
+            split_sibling = None
+            if len(node.children) > self.max_entries:
+                split_sibling = self._split_node(node)
+            else:
+                node.recompute_bbox()
+                if self.track_payload_union:
+                    node.recompute_payload_union()
+
+            parent = node.parent
+            if split_sibling is not None:
+                if parent is None:
+                    # Grow the tree: create a new root.
+                    new_root = RTreeNode(is_leaf=False)
+                    new_root.children = [node, split_sibling]
+                    node.parent = new_root
+                    split_sibling.parent = new_root
+                    new_root.recompute_bbox()
+                    if self.track_payload_union:
+                        new_root.recompute_payload_union()
+                    self.root = new_root
+                    return
+                parent.children.append(split_sibling)
+                split_sibling.parent = parent
+            node = parent
+
+    def _split_node(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split: returns the newly created sibling node."""
+        children = node.children
+        boxes = [
+            child.bbox if isinstance(child, RTreeNode) else child.bbox
+            for child in children
+        ]
+
+        # Pick the two seeds wasting the most area if grouped together.
+        seed_a, seed_b = 0, 1
+        worst_waste = -math.inf
+        for i, j in itertools.combinations(range(len(children)), 2):
+            waste = boxes[i].union(boxes[j]).area - boxes[i].area - boxes[j].area
+            if waste > worst_waste:
+                worst_waste = waste
+                seed_a, seed_b = i, j
+
+        group_a = [children[seed_a]]
+        group_b = [children[seed_b]]
+        box_a = boxes[seed_a]
+        box_b = boxes[seed_b]
+        remaining = [
+            child for idx, child in enumerate(children) if idx not in (seed_a, seed_b)
+        ]
+
+        while remaining:
+            # If one group must absorb all remaining entries to reach the
+            # minimum fill, assign them wholesale.
+            if len(group_a) + len(remaining) <= self.min_entries:
+                group_a.extend(remaining)
+                for child in remaining:
+                    box_a = box_a.union(_child_bbox(child))
+                remaining = []
+                break
+            if len(group_b) + len(remaining) <= self.min_entries:
+                group_b.extend(remaining)
+                for child in remaining:
+                    box_b = box_b.union(_child_bbox(child))
+                remaining = []
+                break
+
+            # Pick the entry with the greatest preference for one group.
+            best_idx = 0
+            best_diff = -math.inf
+            for idx, child in enumerate(remaining):
+                child_box = _child_bbox(child)
+                d_a = box_a.union(child_box).area - box_a.area
+                d_b = box_b.union(child_box).area - box_b.area
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = idx
+            child = remaining.pop(best_idx)
+            child_box = _child_bbox(child)
+            d_a = box_a.union(child_box).area - box_a.area
+            d_b = box_b.union(child_box).area - box_b.area
+            if d_a < d_b or (d_a == d_b and len(group_a) <= len(group_b)):
+                group_a.append(child)
+                box_a = box_a.union(child_box)
+            else:
+                group_b.append(child)
+                box_b = box_b.union(child_box)
+
+        node.children = group_a
+        sibling = RTreeNode(is_leaf=node.is_leaf)
+        sibling.children = group_b
+        if not node.is_leaf:
+            for child in group_b:
+                child.parent = sibling  # type: ignore[union-attr]
+            for child in group_a:
+                child.parent = node  # type: ignore[union-attr]
+        node.recompute_bbox()
+        sibling.recompute_bbox()
+        if self.track_payload_union:
+            node.recompute_payload_union()
+            sibling.recompute_payload_union()
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def remove(
+        self,
+        point: Sequence[float],
+        match: Optional[Callable[[RTreeEntry], bool]] = None,
+    ) -> Optional[RTreeEntry]:
+        """Remove one entry located at ``point``.
+
+        Parameters
+        ----------
+        point:
+            The exact location of the entry to remove.
+        match:
+            Optional predicate narrowing which entry at that location to
+            remove (e.g. match on payload).  The first matching entry found
+            is removed.
+
+        Returns
+        -------
+        The removed entry, or ``None`` if no entry matched.
+        """
+        target = (float(point[0]), float(point[1]))
+        found = self._find_leaf(self.root, target, match)
+        if found is None:
+            return None
+        leaf, entry = found
+        leaf.children.remove(entry)
+        self._size -= 1
+        self._condense(leaf)
+        return entry
+
+    def _find_leaf(
+        self,
+        node: RTreeNode,
+        point: Tuple[float, float],
+        match: Optional[Callable[[RTreeEntry], bool]],
+    ) -> Optional[Tuple[RTreeNode, RTreeEntry]]:
+        if node.bbox is None or not node.bbox.contains_point(point):
+            return None
+        if node.is_leaf:
+            for entry in node.children:
+                assert isinstance(entry, RTreeEntry)
+                if entry.point == point and (match is None or match(entry)):
+                    return node, entry
+            return None
+        for child in node.children:
+            assert isinstance(child, RTreeNode)
+            found = self._find_leaf(child, point, match)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: RTreeNode) -> None:
+        """Handle under-full nodes after a deletion, re-inserting orphans."""
+        orphans: List[RTreeEntry] = []
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if len(current.children) < self.min_entries:
+                parent.children.remove(current)
+                orphans.extend(current.entries())
+            else:
+                current.recompute_bbox()
+                if self.track_payload_union:
+                    current.recompute_payload_union()
+            current = parent
+        # Refresh the root.
+        self.root.recompute_bbox()
+        if self.track_payload_union:
+            self.root.recompute_payload_union()
+        # Shrink the tree when the root has a single internal child.
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            only_child = self.root.children[0]
+            assert isinstance(only_child, RTreeNode)
+            only_child.parent = None
+            self.root = only_child
+        # Re-insert orphaned entries.
+        self._size -= len(orphans)
+        for entry in orphans:
+            self.insert(entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_search(self, box: BoundingBox) -> List[RTreeEntry]:
+        """All entries whose point lies inside ``box``."""
+        results: List[RTreeEntry] = []
+        if self._size == 0 or self.root.bbox is None:
+            return results
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.bbox is None or not node.bbox.intersects(box):
+                continue
+            if node.is_leaf:
+                for entry in node.children:
+                    assert isinstance(entry, RTreeEntry)
+                    if box.contains_point(entry.point):
+                        results.append(entry)
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return results
+
+    def nearest_neighbors(
+        self, point: Sequence[float], k: int = 1
+    ) -> List[Tuple[float, RTreeEntry]]:
+        """The ``k`` entries nearest to ``point`` as ``(distance, entry)`` pairs."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        results: List[Tuple[float, RTreeEntry]] = []
+        for distance, entry in self.iter_nearest(point):
+            results.append((distance, entry))
+            if len(results) >= k:
+                break
+        return results
+
+    def iter_nearest(
+        self, point: Sequence[float]
+    ) -> Iterator[Tuple[float, RTreeEntry]]:
+        """Yield entries in increasing distance from ``point`` (best-first)."""
+        if self._size == 0 or self.root.bbox is None:
+            return
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = [
+            (self.root.bbox.min_dist(point), next(counter), self.root)
+        ]
+        px, py = float(point[0]), float(point[1])
+        while heap:
+            distance, _, item = heapq.heappop(heap)
+            if isinstance(item, RTreeEntry):
+                yield distance, item
+            else:
+                assert isinstance(item, RTreeNode)
+                if item.is_leaf:
+                    for entry in item.children:
+                        assert isinstance(entry, RTreeEntry)
+                        d = math.hypot(entry.point[0] - px, entry.point[1] - py)
+                        heapq.heappush(heap, (d, next(counter), entry))
+                else:
+                    for child in item.children:
+                        assert isinstance(child, RTreeNode)
+                        if child.bbox is None:
+                            continue
+                        heapq.heappush(
+                            heap,
+                            (child.bbox.min_dist(point), next(counter), child),
+                        )
+
+    def iter_best_first(
+        self, query_points: Sequence[Sequence[float]]
+    ) -> Iterator[Tuple[float, Union[RTreeNode, RTreeEntry]]]:
+        """Best-first traversal ordered by MinDist to a multi-point query.
+
+        Yields both internal nodes and leaf entries, which lets callers prune
+        whole subtrees (the consumer simply does not descend into a pruned
+        node — descent happens lazily via ``send``-free generator protocol:
+        the caller receives nodes before their children are expanded and can
+        skip expansion by calling :meth:`RTree.expand` itself).  For the
+        filter-refine algorithms the simpler contract below is used instead:
+        the caller receives every node/entry and decides what to do; children
+        of a node are only pushed when the caller re-offers the node through
+        the ``expand`` callback.
+
+        In practice the RkNNT algorithms use :meth:`traverse_prunable`; this
+        iterator is kept for completeness and testing.
+        """
+        if self._size == 0 or self.root.bbox is None:
+            return
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = [
+            (self.root.bbox.min_dist_to_query(query_points), next(counter), self.root)
+        ]
+        while heap:
+            distance, _, item = heapq.heappop(heap)
+            yield distance, item  # type: ignore[misc]
+            if isinstance(item, RTreeNode):
+                for child in item.children:
+                    if isinstance(child, RTreeNode):
+                        if child.bbox is None:
+                            continue
+                        d = child.bbox.min_dist_to_query(query_points)
+                    else:
+                        d = child.bbox.min_dist_to_query(query_points)
+                    heapq.heappush(heap, (d, next(counter), child))
+
+
+def _child_bbox(child: Union[RTreeNode, RTreeEntry]) -> BoundingBox:
+    box = child.bbox
+    assert box is not None
+    return box
+
+
+def _str_partition(items: List[Any], capacity: int, key: Callable[[Any], Tuple[float, float]]) -> List[List[Any]]:
+    """Sort-Tile-Recursive grouping of ``items`` into runs of ``capacity``.
+
+    Items are sorted by x, cut into vertical slices, each slice sorted by y
+    and cut into groups of at most ``capacity`` items.
+    """
+    n = len(items)
+    if n <= capacity:
+        return [list(items)]
+    leaf_count = math.ceil(n / capacity)
+    slice_count = math.ceil(math.sqrt(leaf_count))
+    slice_size = slice_count * capacity
+
+    by_x = sorted(items, key=lambda item: key(item)[0])
+    groups: List[List[Any]] = []
+    for slice_start in range(0, n, slice_size):
+        vertical_slice = by_x[slice_start : slice_start + slice_size]
+        vertical_slice.sort(key=lambda item: key(item)[1])
+        for group_start in range(0, len(vertical_slice), capacity):
+            groups.append(vertical_slice[group_start : group_start + capacity])
+    return groups

@@ -1,0 +1,131 @@
+"""The TR-tree: the R-tree over transition endpoints (Section 4.1.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+from repro.model.dataset import TransitionDataset
+from repro.model.transition import Transition
+
+ORIGIN = "o"
+DESTINATION = "d"
+
+
+@dataclass(frozen=True)
+class TransitionEntry:
+    """Payload of a TR-tree leaf entry: which endpoint of which transition."""
+
+    transition_id: int
+    endpoint: str  # ORIGIN or DESTINATION
+
+    def __post_init__(self) -> None:
+        if self.endpoint not in (ORIGIN, DESTINATION):
+            raise ValueError(f"endpoint must be '{ORIGIN}' or '{DESTINATION}'")
+
+
+class TransitionIndex:
+    """Spatial index over a :class:`~repro.model.dataset.TransitionDataset`.
+
+    Each transition contributes two leaf entries to the TR-tree (origin and
+    destination), tagged with :class:`TransitionEntry` payloads so that the
+    verification step can recover the owning transition.
+
+    The index supports the dynamic workflow of the paper: transitions can be
+    added as new passenger requests arrive and removed once they expire.
+    """
+
+    def __init__(self, transitions: TransitionDataset, max_entries: int = 16):
+        self.transitions = transitions
+        self.max_entries = max_entries
+        self.tree = self._build_tree()
+
+    def _build_tree(self) -> RTree:
+        entries: List[RTreeEntry] = []
+        for transition in self.transitions:
+            entries.append(
+                RTreeEntry(
+                    transition.origin,
+                    frozenset({TransitionEntry(transition.transition_id, ORIGIN)}),
+                )
+            )
+            entries.append(
+                RTreeEntry(
+                    transition.destination,
+                    frozenset(
+                        {TransitionEntry(transition.transition_id, DESTINATION)}
+                    ),
+                )
+            )
+        return RTree.bulk_load(
+            entries, max_entries=self.max_entries, track_payload_union=True
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def add_transition(self, transition: Transition) -> None:
+        """Index a transition appended to the dataset after construction."""
+        self.tree.insert(
+            RTreeEntry(
+                transition.origin,
+                frozenset({TransitionEntry(transition.transition_id, ORIGIN)}),
+            )
+        )
+        self.tree.insert(
+            RTreeEntry(
+                transition.destination,
+                frozenset(
+                    {TransitionEntry(transition.transition_id, DESTINATION)}
+                ),
+            )
+        )
+
+    def remove_transition(self, transition: Transition) -> int:
+        """Remove a transition's endpoints from the index.
+
+        Returns the number of entries removed (2 when both endpoints were
+        indexed).
+        """
+        removed = 0
+        for point, endpoint in (
+            (transition.origin, ORIGIN),
+            (transition.destination, DESTINATION),
+        ):
+            tag = TransitionEntry(transition.transition_id, endpoint)
+            entry = self.tree.remove(point, match=lambda e: tag in e.payload)
+            if entry is not None:
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> RTreeNode:
+        """Root of the TR-tree."""
+        return self.tree.root
+
+    def endpoint_count(self) -> int:
+        """Number of indexed endpoints (2 × the number of transitions)."""
+        return len(self.tree)
+
+    def transition(self, transition_id: int) -> Transition:
+        """Resolve a transition id back to the transition object."""
+        return self.transitions.get(transition_id)
+
+    def endpoints_in_box(
+        self, box: BoundingBox
+    ) -> Iterator[Tuple[Tuple[float, float], TransitionEntry]]:
+        """Yield ``(location, tag)`` for every endpoint inside ``box``."""
+        for entry in self.tree.range_search(box):
+            for tag in entry.payload:
+                yield entry.point, tag
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionIndex(transitions={len(self.transitions)}, "
+            f"endpoints={len(self.tree)})"
+        )

@@ -1,0 +1,12 @@
+"""Data model: routes, transitions and their dynamic datasets."""
+
+from repro.model.route import Route
+from repro.model.transition import Transition
+from repro.model.dataset import RouteDataset, TransitionDataset
+
+__all__ = [
+    "Route",
+    "Transition",
+    "RouteDataset",
+    "TransitionDataset",
+]

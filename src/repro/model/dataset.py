@@ -1,0 +1,231 @@
+"""Dynamic route and transition datasets.
+
+The paper stresses that transition data is highly dynamic (new Uber requests
+arrive continuously, old ones expire).  The datasets below therefore support
+cheap incremental ``add`` / ``remove`` while keeping the auxiliary spatial
+indexes (built lazily by the search layer) in sync through simple versioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.geometry.bbox import BoundingBox
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+
+class RouteDataset:
+    """A collection ``DR`` of :class:`~repro.model.route.Route` objects.
+
+    Routes are addressable by id, iteration order is insertion order, and the
+    dataset exposes a monotonically increasing ``version`` so dependent
+    indexes can detect staleness.
+    """
+
+    def __init__(self, routes: Optional[Iterable[Route]] = None):
+        self._routes: Dict[int, Route] = {}
+        self.version = 0
+        if routes is not None:
+            for route in routes:
+                self.add(route)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, route: Route) -> None:
+        """Add a route; raises if the id is already present."""
+        if route.route_id in self._routes:
+            raise ValueError(f"duplicate route id {route.route_id}")
+        self._routes[route.route_id] = route
+        self.version += 1
+
+    def remove(self, route_id: int) -> Route:
+        """Remove and return the route with ``route_id``."""
+        try:
+            route = self._routes.pop(route_id)
+        except KeyError:
+            raise KeyError(f"route id {route_id} not in dataset") from None
+        self.version += 1
+        return route
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, route_id: int) -> Route:
+        return self._routes[route_id]
+
+    def __contains__(self, route_id: int) -> bool:
+        return route_id in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    @property
+    def route_ids(self) -> List[int]:
+        return list(self._routes.keys())
+
+    def next_id(self) -> int:
+        """Smallest id not yet used (convenience for generators/examples)."""
+        return max(self._routes.keys(), default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # Statistics used by the experiment harness (Tables 2 and 3, Figure 17)
+    # ------------------------------------------------------------------
+    @property
+    def bbox(self) -> BoundingBox:
+        """Bounding box of every route point in the dataset."""
+        return BoundingBox.union_all(route.bbox for route in self)
+
+    def total_points(self) -> int:
+        """Total number of route points across all routes."""
+        return sum(len(route) for route in self)
+
+    def travel_distances(self) -> List[float]:
+        """``ψ(R)`` for every route."""
+        return [route.travel_distance for route in self]
+
+    def detour_ratios(self) -> List[float]:
+        """``ψ(R)/ψ(se)`` for every route (Figure 6)."""
+        return [route.detour_ratio for route in self]
+
+    def intervals(self) -> List[float]:
+        """Average point spacing ``I`` for every route (Figure 17)."""
+        return [route.interval for route in self]
+
+    def stop_counts(self) -> List[int]:
+        """Number of stops per route (Figure 17)."""
+        return [len(route) for route in self]
+
+    def __repr__(self) -> str:
+        return f"RouteDataset(routes={len(self)}, version={self.version})"
+
+
+class TransitionDataset:
+    """A collection ``DT`` of :class:`~repro.model.transition.Transition`.
+
+    Supports the dynamic-update workflow of the paper: transitions can be
+    appended as passengers issue new requests and expired transitions can be
+    removed, either individually or by timestamp.
+    """
+
+    def __init__(self, transitions: Optional[Iterable[Transition]] = None):
+        self._transitions: Dict[int, Transition] = {}
+        self.version = 0
+        if transitions is not None:
+            for transition in transitions:
+                self.add(transition)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, transition: Transition) -> None:
+        """Add a transition; raises if the id is already present."""
+        if transition.transition_id in self._transitions:
+            raise ValueError(f"duplicate transition id {transition.transition_id}")
+        self._transitions[transition.transition_id] = transition
+        self.version += 1
+
+    def remove(self, transition_id: int) -> Transition:
+        """Remove and return the transition with ``transition_id``."""
+        try:
+            transition = self._transitions.pop(transition_id)
+        except KeyError:
+            raise KeyError(f"transition id {transition_id} not in dataset") from None
+        self.version += 1
+        return transition
+
+    def expire_before(self, timestamp: float) -> List[Transition]:
+        """Remove every transition whose timestamp is older than ``timestamp``.
+
+        Transitions without a timestamp are kept.  Returns the removed
+        transitions (oldest first).
+        """
+        expired = [
+            t
+            for t in self._transitions.values()
+            if t.timestamp is not None and t.timestamp < timestamp
+        ]
+        expired.sort(key=lambda t: t.timestamp)
+        for t in expired:
+            del self._transitions[t.transition_id]
+        if expired:
+            self.version += 1
+        return expired
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, transition_id: int) -> Transition:
+        return self._transitions[transition_id]
+
+    def __contains__(self, transition_id: int) -> bool:
+        return transition_id in self._transitions
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def __iter__(self) -> Iterator[Transition]:
+        return iter(self._transitions.values())
+
+    @property
+    def transition_ids(self) -> List[int]:
+        return list(self._transitions.keys())
+
+    def next_id(self) -> int:
+        """Smallest id not yet used (convenience for generators/examples)."""
+        return max(self._transitions.keys(), default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def bbox(self) -> BoundingBox:
+        """Bounding box of every transition endpoint (Table 3)."""
+        points: List[Sequence[float]] = []
+        for t in self:
+            points.append(t.origin)
+            points.append(t.destination)
+        return BoundingBox.from_points(points)
+
+    def total_points(self) -> int:
+        """Total number of transition endpoints (2 per transition)."""
+        return 2 * len(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitionDataset(transitions={len(self)}, version={self.version})"
+        )
+
+
+def split_trajectory_into_transitions(
+    points: Sequence[Sequence[float]],
+    start_id: int = 0,
+    timestamp: Optional[float] = None,
+) -> List[Transition]:
+    """Split an n-point trajectory into ``n - 1`` consecutive transitions.
+
+    This mirrors the paper's data cleaning of Foursquare check-ins: "a
+    trajectory with n points can be divided into n-1 transitions".
+
+    Parameters
+    ----------
+    points:
+        The trajectory's ordered check-in points.
+    start_id:
+        Id assigned to the first produced transition; subsequent transitions
+        use consecutive ids.
+    timestamp:
+        Optional timestamp copied onto every produced transition.
+    """
+    if len(points) < 2:
+        return []
+    transitions = []
+    for offset, (origin, destination) in enumerate(zip(points, points[1:])):
+        transitions.append(
+            Transition(start_id + offset, origin, destination, timestamp=timestamp)
+        )
+    return transitions

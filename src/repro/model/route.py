@@ -1,0 +1,135 @@
+"""Routes: multi-point trajectories of vehicles (Definition 1)."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point, euclidean, point_to_points_distance
+
+
+class Route:
+    """A route ``R = (r1, ..., rn)``, ``n >= 2`` (Definition 1 of the paper).
+
+    Routes are immutable once created.  Each point is stored as a
+    :class:`~repro.geometry.point.Point` so it can be treated as an ``(x, y)``
+    tuple everywhere.
+
+    Parameters
+    ----------
+    route_id:
+        Unique identifier of the route inside its dataset.
+    points:
+        Ordered sequence of at least two ``(x, y)`` pairs.
+    name:
+        Optional human-readable name (e.g. a GTFS route short name).
+    """
+
+    __slots__ = ("route_id", "points", "name", "_bbox", "_length")
+
+    def __init__(
+        self,
+        route_id: int,
+        points: Sequence[Sequence[float]],
+        name: Optional[str] = None,
+    ):
+        if len(points) < 2:
+            raise ValueError(
+                f"a route needs at least 2 points, got {len(points)} "
+                f"(route_id={route_id})"
+            )
+        self.route_id = int(route_id)
+        self.points: Tuple[Point, ...] = tuple(
+            Point(float(p[0]), float(p[1])) for p in points
+        )
+        self.name = name
+        self._bbox: Optional[BoundingBox] = None
+        self._length: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def bbox(self) -> BoundingBox:
+        """Minimum bounding rectangle of the route's points."""
+        if self._bbox is None:
+            self._bbox = BoundingBox.from_points(self.points)
+        return self._bbox
+
+    @property
+    def travel_distance(self) -> float:
+        """``ψ(R)``: sum of consecutive point distances (Equation 6)."""
+        if self._length is None:
+            total = 0.0
+            for a, b in zip(self.points, self.points[1:]):
+                total += euclidean(a, b)
+            self._length = total
+        return self._length
+
+    @property
+    def straight_line_distance(self) -> float:
+        """Euclidean distance between the first and last point, ``ψ(se)``."""
+        return euclidean(self.points[0], self.points[-1])
+
+    @property
+    def detour_ratio(self) -> float:
+        """``ψ(R) / ψ(se)``: travel distance over straight-line distance.
+
+        The paper observes (Figure 6) that this ratio rarely exceeds 2 for
+        real bus routes, which motivates the distance threshold ``τ`` in
+        MaxRkNNT.  Returns ``inf`` for loop routes whose endpoints coincide.
+        """
+        straight = self.straight_line_distance
+        if straight == 0.0:
+            return float("inf")
+        return self.travel_distance / straight
+
+    @property
+    def interval(self) -> float:
+        """Average spacing ``I = ψ(R) / |R|`` between consecutive points."""
+        return self.travel_distance / len(self.points)
+
+    def distance_to_point(self, point: Sequence[float]) -> float:
+        """Point-route distance ``dist(t, R)`` (Definition 3)."""
+        return point_to_points_distance(point, self.points)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> Point:
+        return self.points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Route):
+            return NotImplemented
+        return self.route_id == other.route_id and self.points == other.points
+
+    def __hash__(self) -> int:
+        return hash((self.route_id, self.points))
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Route(id={self.route_id}, points={len(self.points)}{label})"
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertices(
+        cls,
+        route_id: int,
+        vertex_ids: Sequence[int],
+        positions: Sequence[Sequence[float]],
+        name: Optional[str] = None,
+    ) -> "Route":
+        """Build a route from graph vertex ids and a vertex position table."""
+        points: List[Tuple[float, float]] = [
+            (positions[v][0], positions[v][1]) for v in vertex_ids
+        ]
+        return cls(route_id, points, name=name)

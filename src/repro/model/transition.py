@@ -1,0 +1,89 @@
+"""Transitions: origin/destination pairs of passengers (Definition 2)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point, euclidean
+
+
+class Transition:
+    """A passenger transition ``T = {t_o, t_d}`` (Definition 2 of the paper).
+
+    A transition models a single passenger movement as an origin point and a
+    destination point (e.g. home → office, or two consecutive check-ins).
+
+    Parameters
+    ----------
+    transition_id:
+        Unique identifier of the transition inside its dataset.
+    origin, destination:
+        ``(x, y)`` pairs.
+    timestamp:
+        Optional arrival time of the transition; used by the dynamic-update
+        examples to expire old transitions.
+    """
+
+    __slots__ = ("transition_id", "origin", "destination", "timestamp")
+
+    def __init__(
+        self,
+        transition_id: int,
+        origin: Sequence[float],
+        destination: Sequence[float],
+        timestamp: Optional[float] = None,
+    ):
+        self.transition_id = int(transition_id)
+        self.origin = Point(float(origin[0]), float(origin[1]))
+        self.destination = Point(float(destination[0]), float(destination[1]))
+        self.timestamp = timestamp
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[Point, Point]:
+        """The two endpoints ``(t_o, t_d)``."""
+        return (self.origin, self.destination)
+
+    @property
+    def bbox(self) -> BoundingBox:
+        """Minimum bounding rectangle of the two endpoints."""
+        return BoundingBox.from_points(self.points)
+
+    @property
+    def length(self) -> float:
+        """Straight-line distance between origin and destination."""
+        return euclidean(self.origin, self.destination)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return 2
+
+    def __iter__(self) -> Iterator[Point]:
+        yield self.origin
+        yield self.destination
+
+    def __getitem__(self, index: int) -> Point:
+        return self.points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return (
+            self.transition_id == other.transition_id
+            and self.origin == other.origin
+            and self.destination == other.destination
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.transition_id, self.origin, self.destination))
+
+    def __repr__(self) -> str:
+        return (
+            f"Transition(id={self.transition_id}, "
+            f"origin={tuple(self.origin)}, destination={tuple(self.destination)})"
+        )

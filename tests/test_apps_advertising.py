@@ -1,0 +1,113 @@
+"""Tests for the bus advertisement recommendation application."""
+
+import pytest
+
+from repro.apps.advertising import Advertisement, AdvertisingRecommender
+from repro.core.rknnt import RkNNTProcessor
+
+
+@pytest.fixture
+def recommender(toy_routes, toy_transitions):
+    processor = RkNNTProcessor(toy_routes, toy_transitions)
+    profiles = {
+        0: {"sports", "music"},
+        1: {"music"},
+        2: {"food"},
+        3: {"sports"},
+        4: {"tech", "music"},
+        5: {"food"},
+    }
+    return AdvertisingRecommender(processor, profiles, k=2)
+
+
+@pytest.fixture
+def ads():
+    return [
+        Advertisement("sports-shoes", frozenset({"sports"})),
+        Advertisement("concert", frozenset({"music"})),
+        Advertisement("restaurant", frozenset({"food"})),
+        Advertisement("gadget", frozenset({"tech"}), value_per_passenger=2.0),
+    ]
+
+
+class TestAdvertisement:
+    def test_appeals_to(self):
+        ad = Advertisement("a", frozenset({"music", "tech"}))
+        assert ad.appeals_to({"music"})
+        assert not ad.appeals_to({"food"})
+        assert not ad.appeals_to(set())
+
+
+class TestAudience:
+    def test_audience_matches_rknnt(self, recommender, toy_routes, toy_transitions):
+        query = [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)]
+        audience = recommender.audience(query)
+        direct = recommender.processor.query(query, 2)
+        assert audience == direct.transition_ids
+
+    def test_audience_interest_histogram(self, recommender):
+        histogram = recommender.audience_interests({0, 1, 4})
+        assert histogram["music"] == 3
+        assert histogram["sports"] == 1
+        assert histogram["tech"] == 1
+
+    def test_unknown_passengers_have_no_interests(self, recommender):
+        assert recommender.audience_interests({999}) == {}
+
+    def test_invalid_k(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        with pytest.raises(ValueError):
+            AdvertisingRecommender(processor, {}, k=0)
+
+
+class TestRecommendation:
+    def test_greedy_selection_maximises_coverage(self, recommender, ads):
+        query = [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)]
+        placements = recommender.recommend(query, ads, max_ads=2)
+        assert 1 <= len(placements) <= 2
+        audience = recommender.audience(query)
+        covered = recommender.coverage(placements)
+        assert covered <= audience
+        # Greedy picks at least as much as the best single ad.
+        best_single = max(
+            len(
+                {
+                    tid
+                    for tid in audience
+                    if ad.appeals_to(recommender.profiles.get(tid, frozenset()))
+                }
+            )
+            for ad in ads
+        )
+        assert len(covered) >= best_single
+
+    def test_selection_stops_when_nothing_new(self, recommender, ads):
+        query = [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)]
+        placements = recommender.recommend(query, ads, max_ads=10)
+        # No two placements are needed for the same passengers only.
+        seen = set()
+        for placement in placements:
+            new = placement.reached_transition_ids - seen
+            assert new, "a selected ad reaches no new passenger"
+            seen |= placement.reached_transition_ids
+
+    def test_placement_value_uses_ad_value(self, recommender, ads):
+        query = [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)]
+        placements = recommender.recommend(query, ads, max_ads=4)
+        for placement in placements:
+            assert placement.value == pytest.approx(
+                placement.reach * placement.advertisement.value_per_passenger
+            )
+
+    def test_invalid_max_ads(self, recommender, ads):
+        with pytest.raises(ValueError):
+            recommender.recommend([(0.0, 2.0)], ads, max_ads=0)
+
+    def test_no_ads_returns_empty(self, recommender):
+        assert recommender.recommend([(0.0, 2.0)], [], max_ads=3) == []
+
+    def test_route_object_query(self, recommender, toy_routes):
+        placements = recommender.recommend(toy_routes.get(1), [
+            Advertisement("concert", frozenset({"music"}))
+        ])
+        assert isinstance(placements, list)

@@ -1,0 +1,115 @@
+"""Tests for the service frequency recommendation application."""
+
+import pytest
+
+from repro.apps.frequency import FrequencyPlanner, SlotDemand
+from repro.model.dataset import TransitionDataset
+from repro.model.transition import Transition
+
+
+@pytest.fixture
+def timestamped_transitions():
+    """A morning-peaked demand profile hugging the y = 0 route."""
+    transitions = []
+    next_id = 0
+    # Slot [0, 10): heavy demand near route 0.
+    for i in range(12):
+        transitions.append(
+            Transition(next_id, (0.5 + i * 0.5, 0.2), (1.0 + i * 0.5, -0.2), timestamp=float(i % 10))
+        )
+        next_id += 1
+    # Slot [10, 20): light demand.
+    for i in range(3):
+        transitions.append(
+            Transition(next_id, (1.0 + i, 0.3), (2.0 + i, -0.3), timestamp=10.0 + i)
+        )
+        next_id += 1
+    # Untimestamped rows are ignored by the planner.
+    transitions.append(Transition(next_id, (1.0, 0.1), (2.0, 0.1)))
+    return TransitionDataset(transitions)
+
+
+@pytest.fixture
+def planner(toy_routes, timestamped_transitions):
+    return FrequencyPlanner(
+        toy_routes,
+        timestamped_transitions,
+        k=1,
+        vehicle_capacity=5,
+        target_load_factor=1.0,
+    )
+
+
+class TestValidation:
+    def test_invalid_parameters(self, toy_routes, timestamped_transitions):
+        with pytest.raises(ValueError):
+            FrequencyPlanner(toy_routes, timestamped_transitions, k=0)
+        with pytest.raises(ValueError):
+            FrequencyPlanner(toy_routes, timestamped_transitions, vehicle_capacity=0)
+        with pytest.raises(ValueError):
+            FrequencyPlanner(
+                toy_routes, timestamped_transitions, target_load_factor=0.0
+            )
+
+    def test_no_timestamps_raises(self, toy_routes):
+        transitions = TransitionDataset([Transition(0, (0, 0), (1, 1))])
+        planner = FrequencyPlanner(toy_routes, transitions)
+        with pytest.raises(ValueError):
+            planner.time_range()
+
+    def test_invalid_slot_count(self, planner, toy_routes):
+        with pytest.raises(ValueError):
+            planner.plan(toy_routes.get(0), slots=0)
+
+
+class TestSlots:
+    def test_time_range(self, planner):
+        start, end = planner.time_range()
+        assert start == 0.0
+        assert end == 12.0
+
+    def test_slot_transitions_window(self, planner):
+        slot = planner.slot_transitions(0.0, 10.0)
+        assert len(slot) == 12
+        later = planner.slot_transitions(10.0, 20.0)
+        assert len(later) == 3
+
+    def test_vehicles_needed(self, planner):
+        assert planner.vehicles_needed(0) == 0
+        assert planner.vehicles_needed(1) == 1
+        assert planner.vehicles_needed(5) == 1
+        assert planner.vehicles_needed(6) == 2
+
+
+class TestPlan:
+    def test_plan_covers_all_timestamped_rows(self, planner, toy_routes):
+        plan = planner.plan(toy_routes.get(0), slots=2)
+        assert len(plan) == 2
+        assert sum(slot.active_transitions for slot in plan) == 15
+
+    def test_peak_slot_is_the_morning_peak(self, planner, toy_routes):
+        plan = planner.plan(toy_routes.get(0), slots=2)
+        peak = planner.peak_slot(plan)
+        assert peak is plan[0]
+        assert peak.riders >= plan[1].riders
+
+    def test_vehicle_recommendation_scales_with_demand(self, planner, toy_routes):
+        plan = planner.plan(toy_routes.get(0), slots=2)
+        assert plan[0].vehicles >= plan[1].vehicles
+        for slot in plan:
+            if slot.riders:
+                assert slot.load_per_vehicle <= planner.vehicle_capacity
+
+    def test_empty_slot_needs_no_vehicles(self, planner, toy_routes):
+        plan = planner.plan(toy_routes.get(0), slots=2, time_range=(100.0, 120.0))
+        assert all(slot.riders == 0 and slot.vehicles == 0 for slot in plan)
+        assert all(slot.load_per_vehicle == 0.0 for slot in plan)
+
+    def test_peak_slot_requires_nonempty_plan(self, planner):
+        with pytest.raises(ValueError):
+            planner.peak_slot([])
+
+    def test_plan_with_query_points(self, planner):
+        plan = planner.plan([(0.0, 0.0), (8.0, 0.0)], slots=3)
+        assert len(plan) == 3
+        assert all(isinstance(slot, SlotDemand) for slot in plan)

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.gtfs import save_routes_csv, save_transitions_csv
+
+
+@pytest.fixture
+def data_dir(tmp_path, toy_routes, toy_transitions):
+    save_routes_csv(toy_routes, os.path.join(tmp_path, "routes.csv"))
+    save_transitions_csv(toy_transitions, os.path.join(tmp_path, "transitions.csv"))
+    return str(tmp_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--preset", "mini", "--output-dir", "/tmp/x", "--scale", "0.5"]
+        )
+        assert args.command == "generate"
+        assert args.preset == "mini"
+        assert args.scale == 0.5
+
+    def test_query_points_accumulate(self):
+        args = build_parser().parse_args(
+            [
+                "query",
+                "--data-dir",
+                "/tmp/x",
+                "--point",
+                "1",
+                "2",
+                "--point",
+                "3",
+                "4",
+            ]
+        )
+        assert args.points == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--data-dir", "/tmp/x", "--point", "1", "2", "--method", "x"]
+            )
+
+
+class TestGenerate:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        output = os.path.join(tmp_path, "city")
+        assert main(["generate", "--preset", "mini", "--output-dir", output]) == 0
+        assert os.path.exists(os.path.join(output, "routes.csv"))
+        assert os.path.exists(os.path.join(output, "transitions.csv"))
+        out = capsys.readouterr().out
+        assert "routes" in out and "transitions" in out
+
+
+class TestQuery:
+    def test_query_prints_results(self, data_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--data-dir",
+                data_dir,
+                "--k",
+                "2",
+                "--point",
+                "0",
+                "2",
+                "--point",
+                "8",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RkNNT(" in out
+        assert "transitions" in out
+
+    def test_query_forall_semantics(self, data_dir, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--data-dir",
+                    data_dir,
+                    "--k",
+                    "4",
+                    "--semantics",
+                    "forall",
+                    "--point",
+                    "4",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert "forall" in capsys.readouterr().out
+
+    def test_missing_data_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--data-dir",
+                    str(tmp_path),
+                    "--point",
+                    "0",
+                    "0",
+                ]
+            )
+
+
+class TestCapacity:
+    def test_capacity_table(self, data_dir, capsys):
+        assert main(["capacity", "--data-dir", data_dir, "--k", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated demand" in out
+        assert "riders_exists" in out
+
+
+class TestPlan:
+    def test_plan_between_connected_stops(self, data_dir, capsys):
+        # Vertices 0 and 4 are the endpoints of route 0 in the toy network
+        # (from_routes numbers stops in insertion order).
+        code = main(
+            [
+                "plan",
+                "--data-dir",
+                data_dir,
+                "--k",
+                "2",
+                "--start",
+                "0",
+                "--end",
+                "4",
+                "--ratio",
+                "1.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "passengers" in out
+        assert "stops:" in out
+
+    def test_plan_unreachable_errors(self, data_dir):
+        # Route 2 (y = 8) is disconnected from route 0 in the toy network.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "plan",
+                    "--data-dir",
+                    data_dir,
+                    "--start",
+                    "0",
+                    "--end",
+                    "10",
+                ]
+            )
+
+    def test_plan_unknown_vertex_errors(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(
+                ["plan", "--data-dir", data_dir, "--start", "0", "--end", "9999"]
+            )

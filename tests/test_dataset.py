@@ -1,0 +1,131 @@
+"""Tests for RouteDataset / TransitionDataset and trajectory splitting."""
+
+import pytest
+
+from repro.model.dataset import (
+    RouteDataset,
+    TransitionDataset,
+    split_trajectory_into_transitions,
+)
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+
+class TestRouteDataset:
+    def test_add_get_remove(self):
+        dataset = RouteDataset()
+        route = Route(0, [(0, 0), (1, 1)])
+        dataset.add(route)
+        assert len(dataset) == 1
+        assert dataset.get(0) is route
+        assert 0 in dataset
+        removed = dataset.remove(0)
+        assert removed is route
+        assert len(dataset) == 0
+
+    def test_duplicate_id_raises(self):
+        dataset = RouteDataset([Route(0, [(0, 0), (1, 1)])])
+        with pytest.raises(ValueError):
+            dataset.add(Route(0, [(2, 2), (3, 3)]))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            RouteDataset().remove(7)
+
+    def test_version_increments(self):
+        dataset = RouteDataset()
+        v0 = dataset.version
+        dataset.add(Route(0, [(0, 0), (1, 1)]))
+        v1 = dataset.version
+        dataset.remove(0)
+        assert v0 < v1 < dataset.version
+
+    def test_next_id(self):
+        dataset = RouteDataset()
+        assert dataset.next_id() == 0
+        dataset.add(Route(4, [(0, 0), (1, 1)]))
+        assert dataset.next_id() == 5
+
+    def test_statistics(self, toy_routes):
+        assert toy_routes.total_points() == sum(len(r) for r in toy_routes)
+        assert len(toy_routes.travel_distances()) == len(toy_routes)
+        assert len(toy_routes.detour_ratios()) == len(toy_routes)
+        assert len(toy_routes.intervals()) == len(toy_routes)
+        assert toy_routes.stop_counts() == [5, 5, 5, 3]
+        box = toy_routes.bbox
+        assert box.min_x == 0.0 and box.max_y == 8.0
+
+    def test_iteration_order_is_insertion_order(self):
+        dataset = RouteDataset(
+            [Route(3, [(0, 0), (1, 1)]), Route(1, [(2, 2), (3, 3)])]
+        )
+        assert [r.route_id for r in dataset] == [3, 1]
+        assert dataset.route_ids == [3, 1]
+
+
+class TestTransitionDataset:
+    def test_add_get_remove(self):
+        dataset = TransitionDataset()
+        t = Transition(0, (0, 0), (1, 1))
+        dataset.add(t)
+        assert dataset.get(0) is t
+        assert 0 in dataset
+        assert dataset.remove(0) is t
+        assert len(dataset) == 0
+
+    def test_duplicate_id_raises(self):
+        dataset = TransitionDataset([Transition(0, (0, 0), (1, 1))])
+        with pytest.raises(ValueError):
+            dataset.add(Transition(0, (2, 2), (3, 3)))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            TransitionDataset().remove(1)
+
+    def test_expire_before(self):
+        dataset = TransitionDataset(
+            [
+                Transition(0, (0, 0), (1, 1), timestamp=1.0),
+                Transition(1, (0, 0), (1, 1), timestamp=5.0),
+                Transition(2, (0, 0), (1, 1)),  # no timestamp: never expires
+            ]
+        )
+        expired = dataset.expire_before(3.0)
+        assert [t.transition_id for t in expired] == [0]
+        assert sorted(dataset.transition_ids) == [1, 2]
+
+    def test_expire_before_nothing(self):
+        dataset = TransitionDataset([Transition(0, (0, 0), (1, 1), timestamp=9.0)])
+        version = dataset.version
+        assert dataset.expire_before(1.0) == []
+        assert dataset.version == version
+
+    def test_statistics(self, toy_transitions):
+        assert toy_transitions.total_points() == 2 * len(toy_transitions)
+        box = toy_transitions.bbox
+        assert box.max_x == pytest.approx(22.0)
+
+    def test_next_id(self):
+        dataset = TransitionDataset([Transition(10, (0, 0), (1, 1))])
+        assert dataset.next_id() == 11
+
+
+class TestTrajectorySplitting:
+    def test_n_points_yield_n_minus_one_transitions(self):
+        trajectory = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        transitions = split_trajectory_into_transitions(trajectory, start_id=5)
+        assert len(transitions) == 3
+        assert [t.transition_id for t in transitions] == [5, 6, 7]
+        assert transitions[0].origin == (0.0, 0.0)
+        assert transitions[0].destination == (1.0, 0.0)
+        assert transitions[2].destination == (3.0, 0.0)
+
+    def test_short_trajectories_yield_nothing(self):
+        assert split_trajectory_into_transitions([]) == []
+        assert split_trajectory_into_transitions([(0, 0)]) == []
+
+    def test_timestamp_propagates(self):
+        transitions = split_trajectory_into_transitions(
+            [(0, 0), (1, 1)], timestamp=4.2
+        )
+        assert transitions[0].timestamp == 4.2

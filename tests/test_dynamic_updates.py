@@ -1,0 +1,130 @@
+"""Dynamic update workflow: arriving/expiring transitions, new/removed routes.
+
+The paper's motivation for the index design is that transitions arrive
+continuously (Uber requests) and must be visible to the next query without a
+rebuild; routes may also be added or retired.  These tests drive the
+processor through such update sequences and re-check answers against the
+brute-force oracle after every step.
+"""
+
+import pytest
+
+from repro.core.baseline import rknnt_bruteforce
+from repro.core.rknnt import METHODS, RkNNTProcessor
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+
+def assert_matches_oracle(processor, routes, transitions, query, k):
+    oracle = rknnt_bruteforce(routes, transitions, query, k)
+    for method in METHODS:
+        result = processor.query(query, k, method=method)
+        assert result.transition_ids == oracle.transition_ids, method
+    return oracle
+
+
+class TestTransitionUpdates:
+    def test_new_transition_visible_immediately(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        query = [(0.0, 2.0), (8.0, 2.0)]
+        before = processor.query(query, k=2)
+        new_transition = Transition(50, (2.0, 2.1), (6.0, 1.9))
+        processor.add_transition(new_transition)
+        after = processor.query(query, k=2)
+        assert 50 not in before
+        assert 50 in after
+        assert_matches_oracle(processor, toy_routes, toy_transitions, query, 2)
+
+    def test_removed_transition_disappears(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        query = [(0.0, 0.0), (8.0, 0.0)]
+        assert 0 in processor.query(query, k=1)
+        processor.remove_transition(0)
+        assert 0 not in processor.query(query, k=1)
+        assert_matches_oracle(processor, toy_routes, toy_transitions, query, 1)
+
+    def test_stream_of_arrivals_and_expiries(self, toy_routes):
+        transitions = TransitionDataset(
+            [Transition(i, (1.0 + i, 0.4), (2.0 + i, 0.6), timestamp=float(i)) for i in range(5)]
+        )
+        processor = RkNNTProcessor(toy_routes, transitions)
+        query = [(0.0, 1.0), (8.0, 1.0)]
+        for step in range(5, 12):
+            processor.add_transition(
+                Transition(step, (1.0 + step % 6, 0.4), (2.0 + step % 6, 0.6), timestamp=float(step))
+            )
+            expired = [t.transition_id for t in transitions if t.timestamp is not None and t.timestamp < step - 4]
+            for transition_id in expired:
+                processor.remove_transition(transition_id)
+            assert_matches_oracle(processor, toy_routes, transitions, query, 2)
+
+    def test_remove_unknown_transition_raises(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        with pytest.raises(KeyError):
+            processor.remove_transition(12345)
+
+
+class TestRouteUpdates:
+    def test_new_route_steals_passengers(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        query = [(0.0, 2.0), (8.0, 2.0)]
+        before = processor.query(query, k=1)
+        # A new route running right along the query captures the midline
+        # riders, so the query should lose results (or stay equal).
+        new_route = Route(30, [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)])
+        processor.add_route(new_route)
+        after = processor.query(query, k=1)
+        assert after.transition_ids <= before.transition_ids
+        assert_matches_oracle(processor, toy_routes, toy_transitions, query, 1)
+
+    def test_removed_route_releases_passengers(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        query = [(0.0, 2.0), (8.0, 2.0)]
+        before = processor.query(query, k=1)
+        processor.remove_route(0)  # retire the y=0 route
+        after = processor.query(query, k=1)
+        assert before.transition_ids <= after.transition_ids
+        # Transition 0 hugged route 0; with it gone the query picks it up.
+        assert 0 in after
+        assert_matches_oracle(processor, toy_routes, toy_transitions, query, 1)
+
+    def test_add_then_remove_is_identity(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        query = [(0.0, 6.0), (8.0, 6.0)]
+        baseline = processor.query(query, k=2).transition_ids
+        route = Route(31, [(0.0, 6.0), (8.0, 6.0)])
+        processor.add_route(route)
+        processor.remove_route(31)
+        assert processor.query(query, k=2).transition_ids == baseline
+
+    def test_remove_unknown_route_raises(self, toy_routes, toy_transitions):
+        processor = RkNNTProcessor(toy_routes, toy_transitions)
+        with pytest.raises(KeyError):
+            processor.remove_route(999)
+
+
+class TestMixedUpdates:
+    def test_interleaved_updates_stay_consistent(self, mini_city_bundle):
+        city, transitions, _, workload = mini_city_bundle
+        # Use fresh datasets so the session-scoped fixtures stay untouched.
+        routes = RouteDataset(list(city.routes))
+        local_transitions = TransitionDataset(list(transitions)[:150])
+        processor = RkNNTProcessor(routes, local_transitions)
+        query = workload.random_query_route(4, 1.0)
+
+        next_transition_id = local_transitions.next_id()
+        next_route_id = routes.next_id()
+        for step in range(3):
+            processor.add_transition(
+                Transition(next_transition_id + step, (step * 1.0, 2.0), (step * 1.0 + 1.0, 3.0))
+            )
+            if step == 1:
+                processor.add_route(
+                    Route(next_route_id, [(0.0, 0.0), (3.0, 3.0), (6.0, 6.0)])
+                )
+            if step == 2:
+                processor.remove_route(next_route_id)
+            oracle = rknnt_bruteforce(routes, local_transitions, query, 3)
+            result = processor.query(query, 3)
+            assert result.transition_ids == oracle.transition_ids

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion and prints results."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLE_SCRIPTS = [
+    "quickstart.py",
+    "capacity_estimation.py",
+    "route_planning.py",
+    "dynamic_updates.py",
+    "advertising_and_frequency.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_cleanly(script):
+    completed = run_example(script)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_agreement():
+    completed = run_example("quickstart.py")
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "all methods agree with the brute-force oracle" in completed.stdout
+
+
+def test_route_planning_reports_verification():
+    completed = run_example("route_planning.py")
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "verified against the exhaustive Pre baseline" in completed.stdout

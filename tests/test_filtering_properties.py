@@ -1,0 +1,153 @@
+"""Property-based tests of the filter-refine engine's safety invariants.
+
+The framework is only exact because its pruning rules are *safe*: a pruned
+R-tree node or transition endpoint must never belong to the final answer.
+These tests generate random datasets and queries with hypothesis and check
+that safety directly against exhaustive distance computations, independently
+of the end-to-end equivalence tests in test_rknnt_correctness.py.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import FilterRefineEngine
+from repro.core.knn import count_routes_within, query_distance
+from repro.geometry.bbox import BoundingBox
+from repro.index.route_index import RouteIndex
+from repro.index.transition_index import TransitionIndex
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+coord = st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+
+@st.composite
+def random_scenario(draw):
+    """A small random (routes, transitions, query, k) scenario."""
+    route_count = draw(st.integers(min_value=2, max_value=6))
+    routes = RouteDataset()
+    for route_id in range(route_count):
+        points = draw(st.lists(point, min_size=2, max_size=6))
+        routes.add(Route(route_id, points))
+    transition_count = draw(st.integers(min_value=1, max_value=12))
+    transitions = TransitionDataset()
+    for transition_id in range(transition_count):
+        origin = draw(point)
+        destination = draw(point)
+        transitions.add(Transition(transition_id, origin, destination))
+    query = draw(st.lists(point, min_size=1, max_size=4))
+    k = draw(st.integers(min_value=1, max_value=route_count))
+    return routes, transitions, query, k
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=random_scenario())
+def test_is_filtered_never_prunes_a_result_endpoint(scenario):
+    """Safety: a pruned (degenerate) node contains no answer endpoint."""
+    routes, transitions, query, k = scenario
+    route_index = RouteIndex(routes, max_entries=4)
+    transition_index = TransitionIndex(transitions, max_entries=4)
+    engine = FilterRefineEngine(route_index, transition_index, k)
+    engine.filter_routes([tuple(q) for q in query])
+
+    for transition in transitions:
+        for endpoint in transition.points:
+            box = BoundingBox.from_point(endpoint)
+            if engine.is_filtered(box, query):
+                # The endpoint must have at least k routes strictly closer
+                # than the query, i.e. it cannot be part of the answer.
+                threshold = query_distance(endpoint, query)
+                distances = [
+                    route.distance_to_point(endpoint) for route in routes
+                ]
+                if any(abs(d - threshold) < 1e-9 for d in distances):
+                    # Exact geometric tie: different floating-point
+                    # expressions of the same comparison may disagree.
+                    continue
+                closer = count_routes_within(route_index, endpoint, threshold)
+                assert closer >= k
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario=random_scenario())
+def test_candidates_plus_pruned_cover_all_endpoints_in_answers(scenario):
+    """Completeness: every answer endpoint survives pruning as a candidate."""
+    routes, transitions, query, k = scenario
+    route_index = RouteIndex(routes, max_entries=4)
+    transition_index = TransitionIndex(transitions, max_entries=4)
+    engine = FilterRefineEngine(route_index, transition_index, k, use_voronoi=True)
+    normalised_query = [tuple(q) for q in query]
+    engine.filter_routes(normalised_query)
+    candidates = engine.prune_transitions(normalised_query)
+    candidate_keys = {(tag.transition_id, tag.endpoint) for _, tag in candidates}
+
+    for transition in transitions:
+        for label, endpoint in (("o", transition.origin), ("d", transition.destination)):
+            threshold = query_distance(endpoint, normalised_query)
+            distances = [route.distance_to_point(endpoint) for route in routes]
+            if any(abs(d - threshold) < 1e-9 for d in distances):
+                # Exact geometric tie — see the note in the test above.
+                continue
+            closer = count_routes_within(route_index, endpoint, threshold)
+            if closer < k:
+                assert (transition.transition_id, label) in candidate_keys
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario=random_scenario())
+def test_verification_confirms_exactly_the_true_endpoints(scenario):
+    """The verify step equals the per-endpoint brute-force predicate."""
+    routes, transitions, query, k = scenario
+    route_index = RouteIndex(routes, max_entries=4)
+    transition_index = TransitionIndex(transitions, max_entries=4)
+    engine = FilterRefineEngine(route_index, transition_index, k)
+    normalised_query = [tuple(q) for q in query]
+    confirmed = engine.run(normalised_query)
+
+    for transition in transitions:
+        for label, endpoint in (("o", transition.origin), ("d", transition.destination)):
+            threshold = query_distance(endpoint, normalised_query)
+            distances = [route.distance_to_point(endpoint) for route in routes]
+            if any(abs(d - threshold) < 1e-9 for d in distances):
+                # Exact geometric tie between a route and the query: the
+                # engine and this re-computation use different (equally
+                # valid) floating-point expressions, so skip the comparison.
+                continue
+            closer = sum(1 for d in distances if d < threshold)
+            engine_says_yes = label in confirmed.get(transition.transition_id, set())
+            assert engine_says_yes == (closer < k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario=random_scenario(), seed=st.integers(min_value=0, max_value=10_000))
+def test_dynamic_insertions_preserve_exactness(scenario, seed):
+    """After random insert/remove churn the engine still matches brute force."""
+    from repro.core.baseline import rknnt_bruteforce
+    from repro.core.rknnt import RkNNTProcessor
+
+    routes, transitions, query, k = scenario
+    processor = RkNNTProcessor(routes, transitions)
+    rng = random.Random(seed)
+
+    # Random churn: add a few transitions, remove a few existing ones.
+    next_id = transitions.next_id()
+    for offset in range(rng.randint(1, 4)):
+        processor.add_transition(
+            Transition(
+                next_id + offset,
+                (rng.uniform(0, 20), rng.uniform(0, 20)),
+                (rng.uniform(0, 20), rng.uniform(0, 20)),
+            )
+        )
+    existing = list(transitions.transition_ids)
+    for transition_id in rng.sample(existing, min(2, len(existing))):
+        processor.remove_transition(transition_id)
+
+    oracle = rknnt_bruteforce(routes, transitions, query, k)
+    result = processor.query(query, k, method="voronoi")
+    assert result.transition_ids == oracle.transition_ids

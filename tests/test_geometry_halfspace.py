@@ -1,0 +1,155 @@
+"""Unit and property tests for the half-plane pruning predicates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.halfspace import (
+    bbox_inside_halfplane,
+    bisector_halfplane,
+    filtering_space_contains_bbox,
+    filtering_space_contains_point,
+    point_closer_to,
+)
+from repro.geometry.point import euclidean
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.tuples(coord, coord)
+
+
+class TestHalfPlane:
+    def test_contains_point_closer_to_filter(self):
+        # Filter point at (0, 0), query at (0, 4): bisector is y = 2.
+        plane = bisector_halfplane((0, 4), (0, 0))
+        assert plane.contains_point((0, 0))
+        assert plane.contains_point((3, 1.9))
+        assert not plane.contains_point((0, 4))
+        assert not plane.contains_point((-2, 2.1))
+
+    def test_point_on_bisector_is_outside(self):
+        plane = bisector_halfplane((0, 4), (0, 0))
+        assert not plane.contains_point((5, 2.0))
+
+    def test_contains_bbox_fully_inside(self):
+        plane = bisector_halfplane((0, 4), (0, 0))
+        assert plane.contains_bbox(BoundingBox(-1, -1, 1, 1))
+
+    def test_contains_bbox_straddling(self):
+        plane = bisector_halfplane((0, 4), (0, 0))
+        assert not plane.contains_bbox(BoundingBox(-1, 1, 1, 3))
+
+    def test_contains_bbox_fully_outside(self):
+        plane = bisector_halfplane((0, 4), (0, 0))
+        assert not plane.contains_bbox(BoundingBox(-1, 3, 1, 5))
+
+
+class TestPointCloserTo:
+    def test_simple(self):
+        assert point_closer_to((1, 0), (0, 0), (10, 0))
+        assert not point_closer_to((9, 0), (0, 0), (10, 0))
+
+    @given(p=points, r=points, q=points)
+    def test_matches_distance_comparison(self, p, r, q):
+        d_r, d_q = euclidean(p, r), euclidean(p, q)
+        if abs(d_r - d_q) < 1e-9:
+            # Near-tie: squared-distance and sqrt-distance comparisons may
+            # legitimately round to different sides of the boundary.
+            return
+        assert point_closer_to(p, r, q) == (d_r < d_q)
+
+    @given(p=points, r=points, q=points)
+    def test_halfplane_agrees_with_distances(self, p, r, q):
+        plane = bisector_halfplane(q, r)
+        if plane.contains_point(p):
+            # Tolerance absorbs rounding at ties; the linear form is exact.
+            assert euclidean(p, r) <= euclidean(p, q) + 1e-9
+
+
+class TestBBoxInsideHalfplane:
+    @given(
+        r=points,
+        q=points,
+        x1=coord,
+        y1=coord,
+        x2=coord,
+        y2=coord,
+    )
+    def test_bbox_containment_implies_corner_containment(self, r, q, x1, y1, x2, y2):
+        box = BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        if bbox_inside_halfplane(box, r, q):
+            for corner in box.corners():
+                # Tolerance absorbs rounding at near-ties; the half-plane
+                # certificate itself is an exact linear form.
+                assert euclidean(corner, r) <= euclidean(corner, q) + 1e-9
+
+    def test_degenerate_box_matches_point_test(self):
+        r, q = (0.0, 0.0), (4.0, 0.0)
+        for x in (-1.0, 1.0, 1.9, 2.0, 2.1, 5.0):
+            box = BoundingBox.from_point((x, 0.0))
+            assert bbox_inside_halfplane(box, r, q) == point_closer_to((x, 0.0), r, q)
+
+
+class TestFilteringSpace:
+    def test_point_in_filtering_space_of_multiquery(self):
+        # Query with two points to the right; filter point at the origin.
+        query = [(4.0, 0.0), (4.0, 4.0)]
+        assert filtering_space_contains_point((0.0, 0.0), (0.0, 0.0), query)
+        assert filtering_space_contains_point((-1.0, 1.0), (0.0, 0.0), query)
+        # A point close to one of the query points is not in the space.
+        assert not filtering_space_contains_point((3.5, 0.0), (0.0, 0.0), query)
+
+    def test_bbox_in_filtering_space(self):
+        query = [(10.0, 0.0), (10.0, 10.0)]
+        filter_point = (0.0, 0.0)
+        assert filtering_space_contains_bbox(
+            BoundingBox(-2, -2, 2, 2), filter_point, query
+        )
+        assert not filtering_space_contains_bbox(
+            BoundingBox(-2, -2, 8, 2), filter_point, query
+        )
+
+    @given(
+        r=points,
+        q1=points,
+        q2=points,
+        p=points,
+    )
+    def test_point_membership_matches_distances(self, r, q1, q2, p):
+        inside = filtering_space_contains_point(p, r, [q1, q2])
+        expected = euclidean(p, r) < euclidean(p, q1) and euclidean(p, r) < euclidean(
+            p, q2
+        )
+        assert inside == expected
+
+    @given(
+        r=points,
+        q1=points,
+        q2=points,
+        x1=coord,
+        y1=coord,
+        x2=coord,
+        y2=coord,
+    )
+    def test_bbox_membership_implies_corners_membership(
+        self, r, q1, q2, x1, y1, x2, y2
+    ):
+        box = BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        if filtering_space_contains_bbox(box, r, [q1, q2]):
+            for corner in box.corners():
+                d_r = euclidean(corner, r)
+                d_q = min(euclidean(corner, q1), euclidean(corner, q2))
+                # Corners must be (up to rounding at ties) closer to the
+                # filter point than to every query point.
+                assert d_r <= d_q + 1e-9
+
+    def test_single_point_query_space_is_largest(self):
+        # Definition 6: adding query points can only shrink the space.
+        filter_point = (0.0, 0.0)
+        box = BoundingBox(-1, -1, 0.5, 0.5)
+        single = filtering_space_contains_bbox(box, filter_point, [(5.0, 0.0)])
+        double = filtering_space_contains_bbox(
+            box, filter_point, [(5.0, 0.0), (0.0, 0.8)]
+        )
+        assert single
+        assert not double

@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import (
+    Point,
+    euclidean,
+    midpoint,
+    path_length,
+    point_to_points_distance,
+    squared_euclidean,
+)
+
+finite_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_point_is_a_tuple(self):
+        p = Point(1.0, 2.0)
+        assert p == (1.0, 2.0)
+        assert p[0] == 1.0 and p[1] == 2.0
+        assert isinstance(p, tuple)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance_to(self):
+        assert Point(0, 0).squared_distance_to((3, 4)) == pytest.approx(25.0)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_named_fields(self):
+        p = Point(x=2.5, y=-1.5)
+        assert p.x == 2.5
+        assert p.y == -1.5
+
+
+class TestDistances:
+    def test_euclidean_known_value(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_euclidean_zero(self):
+        assert euclidean((1.5, -2.0), (1.5, -2.0)) == 0.0
+
+    def test_squared_euclidean_consistency(self):
+        a, b = (1.0, 2.0), (4.0, 6.0)
+        assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2)
+
+    def test_point_to_points_distance_is_minimum(self):
+        points = [(0, 0), (10, 0), (5, 5)]
+        assert point_to_points_distance((9, 1), points) == pytest.approx(
+            math.hypot(1, 1)
+        )
+
+    def test_point_to_points_distance_empty_raises(self):
+        with pytest.raises(ValueError):
+            point_to_points_distance((0, 0), [])
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1.0, 2.0)
+
+    def test_path_length_polyline(self):
+        assert path_length([(0, 0), (3, 4), (3, 10)]) == pytest.approx(11.0)
+
+    def test_path_length_single_point_is_zero(self):
+        assert path_length([(1, 1)]) == 0.0
+
+    def test_path_length_empty_is_zero(self):
+        assert path_length([]) == 0.0
+
+
+class TestDistanceProperties:
+    @given(ax=finite_coord, ay=finite_coord, bx=finite_coord, by=finite_coord)
+    def test_symmetry(self, ax, ay, bx, by):
+        assert euclidean((ax, ay), (bx, by)) == pytest.approx(
+            euclidean((bx, by), (ax, ay))
+        )
+
+    @given(ax=finite_coord, ay=finite_coord, bx=finite_coord, by=finite_coord)
+    def test_non_negativity(self, ax, ay, bx, by):
+        assert euclidean((ax, ay), (bx, by)) >= 0.0
+
+    @given(
+        ax=finite_coord,
+        ay=finite_coord,
+        bx=finite_coord,
+        by=finite_coord,
+        cx=finite_coord,
+        cy=finite_coord,
+    )
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = (ax, ay), (bx, by), (cx, cy)
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-6
+
+    @given(
+        px=finite_coord,
+        py=finite_coord,
+        points=st.lists(st.tuples(finite_coord, finite_coord), min_size=1, max_size=8),
+    )
+    def test_point_to_points_distance_matches_min(self, px, py, points):
+        expected = min(euclidean((px, py), q) for q in points)
+        assert point_to_points_distance((px, py), points) == pytest.approx(expected)

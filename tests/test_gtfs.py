@@ -1,0 +1,133 @@
+"""Tests for CSV persistence and the minimal GTFS loader."""
+
+import os
+
+import pytest
+
+from repro.data.gtfs import (
+    load_gtfs_directory,
+    load_routes_csv,
+    load_transitions_csv,
+    save_routes_csv,
+    save_transitions_csv,
+)
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+
+class TestRouteCsv:
+    def test_round_trip(self, tmp_path, toy_routes):
+        path = os.path.join(tmp_path, "routes.csv")
+        save_routes_csv(toy_routes, path)
+        loaded = load_routes_csv(path)
+        assert len(loaded) == len(toy_routes)
+        for route in toy_routes:
+            other = loaded.get(route.route_id)
+            assert [tuple(p) for p in other.points] == [tuple(p) for p in route.points]
+
+    def test_names_preserved(self, tmp_path):
+        routes = RouteDataset([Route(0, [(0, 0), (1, 1)], name="M15")])
+        path = os.path.join(tmp_path, "routes.csv")
+        save_routes_csv(routes, path)
+        assert load_routes_csv(path).get(0).name == "M15"
+
+    def test_missing_name_loads_as_none(self, tmp_path):
+        routes = RouteDataset([Route(0, [(0, 0), (1, 1)])])
+        path = os.path.join(tmp_path, "routes.csv")
+        save_routes_csv(routes, path)
+        assert load_routes_csv(path).get(0).name is None
+
+
+class TestTransitionCsv:
+    def test_round_trip(self, tmp_path, toy_transitions):
+        path = os.path.join(tmp_path, "transitions.csv")
+        save_transitions_csv(toy_transitions, path)
+        loaded = load_transitions_csv(path)
+        assert len(loaded) == len(toy_transitions)
+        for transition in toy_transitions:
+            other = loaded.get(transition.transition_id)
+            assert other.origin == transition.origin
+            assert other.destination == transition.destination
+
+    def test_timestamps_round_trip(self, tmp_path):
+        transitions = TransitionDataset(
+            [
+                Transition(0, (0, 0), (1, 1), timestamp=3.5),
+                Transition(1, (0, 0), (1, 1)),
+            ]
+        )
+        path = os.path.join(tmp_path, "transitions.csv")
+        save_transitions_csv(transitions, path)
+        loaded = load_transitions_csv(path)
+        assert loaded.get(0).timestamp == 3.5
+        assert loaded.get(1).timestamp is None
+
+
+def write_gtfs(directory, stops, trips, stop_times):
+    with open(os.path.join(directory, "stops.txt"), "w", encoding="utf-8") as handle:
+        handle.write("stop_id,stop_name,stop_lat,stop_lon\n")
+        for stop_id, lat, lon in stops:
+            handle.write(f"{stop_id},stop {stop_id},{lat},{lon}\n")
+    with open(os.path.join(directory, "trips.txt"), "w", encoding="utf-8") as handle:
+        handle.write("route_id,service_id,trip_id\n")
+        for route_id, trip_id in trips:
+            handle.write(f"{route_id},weekday,{trip_id}\n")
+    with open(
+        os.path.join(directory, "stop_times.txt"), "w", encoding="utf-8"
+    ) as handle:
+        handle.write("trip_id,arrival_time,departure_time,stop_id,stop_sequence\n")
+        for trip_id, stop_id, sequence in stop_times:
+            handle.write(f"{trip_id},08:00:00,08:00:00,{stop_id},{sequence}\n")
+
+
+class TestGtfsLoader:
+    def test_loads_one_route_per_gtfs_route(self, tmp_path):
+        write_gtfs(
+            tmp_path,
+            stops=[("A", 40.0, -74.0), ("B", 40.1, -74.0), ("C", 40.2, -74.1)],
+            trips=[("r1", "t1"), ("r1", "t2"), ("r2", "t3")],
+            stop_times=[
+                ("t1", "A", 1),
+                ("t1", "B", 2),
+                ("t1", "C", 3),
+                ("t2", "C", 1),
+                ("t2", "B", 2),
+                ("t3", "A", 1),
+                ("t3", "C", 2),
+            ],
+        )
+        dataset = load_gtfs_directory(str(tmp_path))
+        assert len(dataset) == 2
+        names = sorted(route.name for route in dataset)
+        assert names == ["r1", "r2"]
+        first = next(r for r in dataset if r.name == "r1")
+        # Points are (lon, lat) ordered by stop_sequence of the first trip.
+        assert [tuple(p) for p in first.points] == [
+            (-74.0, 40.0),
+            (-74.0, 40.1),
+            (-74.1, 40.2),
+        ]
+
+    def test_max_routes_cap(self, tmp_path):
+        write_gtfs(
+            tmp_path,
+            stops=[("A", 0.0, 0.0), ("B", 1.0, 1.0)],
+            trips=[("r1", "t1"), ("r2", "t2")],
+            stop_times=[("t1", "A", 1), ("t1", "B", 2), ("t2", "B", 1), ("t2", "A", 2)],
+        )
+        assert len(load_gtfs_directory(str(tmp_path), max_routes=1)) == 1
+
+    def test_single_stop_trip_skipped(self, tmp_path):
+        write_gtfs(
+            tmp_path,
+            stops=[("A", 0.0, 0.0), ("B", 1.0, 1.0)],
+            trips=[("r1", "t1"), ("r2", "t2")],
+            stop_times=[("t1", "A", 1), ("t1", "B", 2), ("t2", "A", 1)],
+        )
+        dataset = load_gtfs_directory(str(tmp_path))
+        assert len(dataset) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_gtfs_directory(str(tmp_path))

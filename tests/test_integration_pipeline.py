@@ -1,0 +1,114 @@
+"""Integration tests: the full pipeline from data generation to planning.
+
+These tests exercise the same end-to-end flows as the examples and the
+benchmark harness, but on tiny datasets and with every cross-component
+consistency check enabled (RkNNT methods vs brute force, planner vs
+exhaustive enumeration, per-vertex pre-computation vs direct queries).
+"""
+
+import math
+
+import pytest
+
+from repro.core.baseline import rknnt_bruteforce
+from repro.core.rknnt import METHODS, RkNNTProcessor
+from repro.data.checkins import TransitionGenerator
+from repro.data.synthetic import CityGenerator
+from repro.data.workloads import QueryWorkload
+from repro.planning.bruteforce import maxrknnt_bruteforce, maxrknnt_pre
+from repro.planning.maxrknnt import MaxRkNNTPlanner
+from repro.planning.precompute import VertexRkNNTIndex
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A complete tiny deployment: city, transitions, processor, planner."""
+    generator = CityGenerator(width=9.0, height=9.0, grid_spacing=1.5, seed=17)
+    city = generator.generate(8, name="integration")
+    transitions = TransitionGenerator(city.routes, seed=18).generate(250)
+    processor = RkNNTProcessor(city.routes, transitions)
+    vertex_index = VertexRkNNTIndex(city.network, processor, k=2)
+    vertex_index.build()
+    planner = MaxRkNNTPlanner(city.network, vertex_index)
+    workload = QueryWorkload(city, seed=19)
+    return city, transitions, processor, vertex_index, planner, workload
+
+
+class TestQueryPipeline:
+    def test_generated_city_supports_all_methods(self, pipeline):
+        city, transitions, processor, _, _, workload = pipeline
+        for query in workload.query_routes(3, 5, 1.0):
+            oracle = rknnt_bruteforce(city.routes, transitions, query, 2)
+            for method in METHODS:
+                assert (
+                    processor.query(query, 2, method=method).transition_ids
+                    == oracle.transition_ids
+                )
+
+    def test_capacity_estimation_flow(self, pipeline):
+        """The capacity_estimation example's core loop."""
+        city, transitions, processor, _, _, _ = pipeline
+        demands = {}
+        for route in city.routes:
+            result = processor.query(route, 2, method="divide-conquer")
+            demands[route.route_id] = len(result)
+        assert len(demands) == len(city.routes)
+        assert all(count >= 0 for count in demands.values())
+        # At least one route should attract someone in a transit-anchored city.
+        assert max(demands.values()) > 0
+
+    def test_semantics_consistency_across_city(self, pipeline):
+        city, transitions, processor, _, _, workload = pipeline
+        query = workload.random_query_route(4, 1.0)
+        exists = processor.query(query, 3, semantics="exists")
+        forall = processor.query(query, 3, semantics="forall")
+        assert forall.transition_ids <= exists.transition_ids
+
+
+class TestPlanningPipeline:
+    def _planning_query(self, city, vertex_index):
+        vertices = sorted(city.network.vertices())
+        for start in vertices:
+            for end in reversed(vertices):
+                distance = vertex_index.shortest_distance(start, end)
+                if math.isfinite(distance) and 2.0 <= distance <= 6.0:
+                    return start, end, distance * 1.3
+        pytest.skip("no suitable planning query in the generated network")
+
+    def test_planner_agrees_with_baselines(self, pipeline):
+        city, transitions, processor, vertex_index, planner, _ = pipeline
+        start, end, tau = self._planning_query(city, vertex_index)
+        bf = maxrknnt_bruteforce(city.network, processor, start, end, tau, k=2)
+        pre = maxrknnt_pre(city.network, vertex_index, start, end, tau)
+        planned = planner.plan(start, end, tau, use_dominance=False)
+        assert bf.passengers == pre.passengers == planned.passengers
+
+    def test_planned_route_queryable_as_rknnt(self, pipeline):
+        """The planner's ω(R) matches an actual RkNNT query over the route."""
+        city, transitions, processor, vertex_index, planner, _ = pipeline
+        start, end, tau = self._planning_query(city, vertex_index)
+        planned = planner.plan(start, end, tau)
+        query_points = city.network.path_points(planned.vertices)
+        direct = processor.query(query_points, 2, method="divide-conquer")
+        assert direct.transition_ids == planned.transition_ids
+
+    def test_new_transitions_change_planning_inputs(self, pipeline):
+        """Dynamic updates flow through to the (lazily recomputed) vertex sets."""
+        city, transitions, processor, vertex_index, planner, _ = pipeline
+        start, end, tau = self._planning_query(city, vertex_index)
+        before = planner.plan(start, end, tau)
+
+        from repro.model.transition import Transition
+
+        stop = city.network.position(before.vertices[len(before.vertices) // 2])
+        new_id = transitions.next_id()
+        processor.add_transition(
+            Transition(new_id, (stop.x + 0.05, stop.y), (stop.x - 0.05, stop.y))
+        )
+        # A fresh per-vertex index sees the new passenger.
+        refreshed = VertexRkNNTIndex(city.network, processor, k=2)
+        refreshed.build(vertices=before.vertices)
+        fresh_planner = MaxRkNNTPlanner(city.network, refreshed)
+        after = fresh_planner.plan(start, end, tau)
+        assert new_id in after.transition_ids
+        assert after.passengers >= before.passengers

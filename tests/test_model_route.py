@@ -1,0 +1,86 @@
+"""Tests for the Route model."""
+
+import math
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.model.route import Route
+
+
+class TestConstruction:
+    def test_minimum_two_points(self):
+        with pytest.raises(ValueError):
+            Route(0, [(0, 0)])
+
+    def test_points_are_point_tuples(self):
+        route = Route(1, [(0, 0), (1, 2)])
+        assert route.points[0] == (0.0, 0.0)
+        assert route.points[1].x == 1.0
+        assert route.points[1].y == 2.0
+
+    def test_name_defaults_to_none(self):
+        assert Route(1, [(0, 0), (1, 1)]).name is None
+        assert Route(1, [(0, 0), (1, 1)], name="M15").name == "M15"
+
+    def test_from_vertices(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (2.0, 1.0)}
+        route = Route.from_vertices(7, [0, 1, 2], positions, name="loop")
+        assert route.route_id == 7
+        assert [tuple(p) for p in route.points] == [(0, 0), (1, 0), (2, 1)]
+        assert route.name == "loop"
+
+
+class TestGeometry:
+    def test_bbox(self):
+        route = Route(0, [(0, 0), (4, 2), (2, -1)])
+        assert route.bbox == BoundingBox(0, -1, 4, 2)
+
+    def test_travel_distance(self):
+        route = Route(0, [(0, 0), (3, 4), (3, 10)])
+        assert route.travel_distance == pytest.approx(11.0)
+
+    def test_straight_line_distance(self):
+        route = Route(0, [(0, 0), (3, 4), (3, 10)])
+        assert route.straight_line_distance == pytest.approx(math.hypot(3, 10))
+
+    def test_detour_ratio(self):
+        route = Route(0, [(0, 0), (3, 4), (3, 10)])
+        assert route.detour_ratio == pytest.approx(11.0 / math.hypot(3, 10))
+
+    def test_detour_ratio_of_loop_is_infinite(self):
+        route = Route(0, [(0, 0), (2, 0), (0, 0)])
+        assert math.isinf(route.detour_ratio)
+
+    def test_interval(self):
+        route = Route(0, [(0, 0), (2, 0), (4, 0), (6, 0)])
+        assert route.interval == pytest.approx(6.0 / 4.0)
+
+    def test_distance_to_point_is_min_over_points(self):
+        route = Route(0, [(0, 0), (10, 0), (20, 0)])
+        assert route.distance_to_point((11, 1)) == pytest.approx(math.hypot(1, 1))
+
+    def test_travel_distance_is_cached(self):
+        route = Route(0, [(0, 0), (1, 0)])
+        assert route.travel_distance == route.travel_distance == 1.0
+
+
+class TestProtocols:
+    def test_len_iter_getitem(self):
+        route = Route(0, [(0, 0), (1, 1), (2, 2)])
+        assert len(route) == 3
+        assert list(route)[2] == (2.0, 2.0)
+        assert route[1] == (1.0, 1.0)
+
+    def test_equality_and_hash(self):
+        a = Route(0, [(0, 0), (1, 1)])
+        b = Route(0, [(0, 0), (1, 1)])
+        c = Route(1, [(0, 0), (1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a route"
+
+    def test_repr_mentions_id_and_size(self):
+        text = repr(Route(5, [(0, 0), (1, 1)], name="X1"))
+        assert "5" in text and "2" in text and "X1" in text

@@ -1,0 +1,110 @@
+"""Tests for the per-vertex RkNNT pre-computation (Algorithm 5)."""
+
+import math
+
+import pytest
+
+from repro.core.baseline import rknnt_bruteforce
+from repro.core.rknnt import RkNNTProcessor
+from repro.planning.graph import BusNetwork
+from repro.planning.precompute import VertexRkNNTIndex
+
+
+@pytest.fixture
+def toy_setup(toy_routes, toy_transitions):
+    network = BusNetwork.from_routes(toy_routes)
+    processor = RkNNTProcessor(toy_routes, toy_transitions)
+    return network, processor
+
+
+class TestBuild:
+    def test_report_counts_and_timings(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=2)
+        report = index.build()
+        assert report.vertices == network.vertex_count
+        assert report.k == 2
+        assert report.rknnt_seconds >= 0.0
+        assert report.shortest_path_seconds >= 0.0
+        assert report.total_seconds == pytest.approx(
+            report.rknnt_seconds + report.shortest_path_seconds
+        )
+        data = report.as_dict()
+        assert data["vertices"] == network.vertex_count
+
+    def test_vertex_sets_match_single_point_bruteforce(self, toy_setup, toy_routes, toy_transitions):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=2)
+        index.build()
+        for vertex in network.vertices():
+            position = tuple(network.position(vertex))
+            oracle = rknnt_bruteforce(toy_routes, toy_transitions, [position], 2)
+            tags = index.vertex_endpoints(vertex)
+            exists_ids = VertexRkNNTIndex.exists_ids(tags)
+            assert exists_ids == oracle.transition_ids
+
+    def test_restricted_vertices(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=1)
+        some = list(network.vertices())[:3]
+        report = index.build(vertices=some)
+        assert report.vertices == 3
+
+    def test_lazy_vertex_queries_after_build(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=1)
+        index.build(vertices=[])
+        # Not pre-computed, still answerable (computed lazily and cached).
+        vertex = next(iter(network.vertices()))
+        first = index.vertex_endpoints(vertex)
+        second = index.vertex_endpoints(vertex)
+        assert first == second
+
+
+class TestShortestMatrix:
+    def test_shortest_distance_lookup(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=1)
+        index.build()
+        u = network.vertex_at((0.0, 0.0))
+        v = network.vertex_at((8.0, 0.0))
+        assert index.shortest_distance(u, v) == pytest.approx(8.0)
+        assert index.shortest_distance(u, u) == 0.0
+
+    def test_unreachable_is_infinite(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=1)
+        index.build()
+        u = network.vertex_at((0.0, 0.0))
+        w = network.vertex_at((0.0, 8.0))  # route 2 is disconnected from route 0
+        assert math.isinf(index.shortest_distance(u, w))
+
+    def test_unknown_source_is_infinite(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=1)
+        # build() not called: everything unknown.
+        assert math.isinf(index.shortest_distance(0, 1))
+
+
+class TestAggregation:
+    def test_route_endpoints_union(self, toy_setup):
+        network, processor = toy_setup
+        index = VertexRkNNTIndex(network, processor, k=2)
+        index.build()
+        vertices = list(network.vertices())[:4]
+        union = index.route_endpoints(vertices)
+        manual = set()
+        for vertex in vertices:
+            manual.update(index.vertex_endpoints(vertex))
+        assert union == frozenset(manual)
+
+    def test_exists_and_forall_counts(self):
+        tags = [(1, "o"), (1, "d"), (2, "o"), (3, "d")]
+        assert VertexRkNNTIndex.exists_count(tags) == 3
+        assert VertexRkNNTIndex.forall_count(tags) == 1
+        assert VertexRkNNTIndex.exists_ids(tags) == {1, 2, 3}
+
+    def test_counts_of_empty(self):
+        assert VertexRkNNTIndex.exists_count([]) == 0
+        assert VertexRkNNTIndex.forall_count([]) == 0
+        assert VertexRkNNTIndex.exists_ids([]) == frozenset()

@@ -1,0 +1,101 @@
+"""Property-based tests of the R-tree against brute-force reference answers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import euclidean
+from repro.index.rtree import RTree, RTreeEntry
+
+coord = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+point_sets = st.lists(point, min_size=0, max_size=80)
+
+
+def build_tree(points, bulk, max_entries=6):
+    entries = [RTreeEntry(p, frozenset({i})) for i, p in enumerate(points)]
+    if bulk:
+        return RTree.bulk_load(entries, max_entries=max_entries, track_payload_union=True)
+    tree = RTree(max_entries=max_entries, track_payload_union=True)
+    for entry in entries:
+        tree.insert(entry)
+    return tree
+
+
+@given(points=point_sets, bulk=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_size_and_contents_preserved(points, bulk):
+    tree = build_tree(points, bulk)
+    assert len(tree) == len(points)
+    assert sorted(e.point for e in tree.entries()) == sorted(
+        (float(x), float(y)) for x, y in points
+    )
+
+
+@given(points=point_sets, bulk=st.booleans(), query=point)
+@settings(max_examples=60, deadline=None)
+def test_nearest_neighbor_matches_bruteforce(points, bulk, query):
+    tree = build_tree(points, bulk)
+    found = tree.nearest_neighbors(query, k=1)
+    if not points:
+        assert found == []
+        return
+    best = min(euclidean(p, query) for p in points)
+    assert abs(found[0][0] - best) < 1e-9
+
+
+@given(
+    points=point_sets,
+    bulk=st.booleans(),
+    x1=coord,
+    y1=coord,
+    x2=coord,
+    y2=coord,
+)
+@settings(max_examples=60, deadline=None)
+def test_range_search_matches_bruteforce(points, bulk, x1, y1, x2, y2):
+    box = BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    tree = build_tree(points, bulk)
+    expected = sorted(
+        (float(x), float(y)) for x, y in points if box.contains_point((x, y))
+    )
+    assert sorted(e.point for e in tree.range_search(box)) == expected
+
+
+@given(points=point_sets, bulk=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_iter_nearest_order_is_non_decreasing(points, bulk):
+    tree = build_tree(points, bulk)
+    distances = [d for d, _ in tree.iter_nearest((0.0, 0.0))]
+    assert distances == sorted(distances)
+
+
+@given(points=st.lists(point, min_size=1, max_size=60), removals=st.data())
+@settings(max_examples=40, deadline=None)
+def test_insert_then_remove_random_subset(points, removals):
+    tree = build_tree(points, bulk=False)
+    unique_points = list({(float(x), float(y)) for x, y in points})
+    to_remove = removals.draw(
+        st.lists(st.sampled_from(unique_points), max_size=len(unique_points), unique=True)
+    )
+    removed_count = 0
+    for p in to_remove:
+        if tree.remove(p) is not None:
+            removed_count += 1
+    assert len(tree) == len(points) - removed_count
+    # Remaining nearest-neighbour queries still agree with brute force.
+    remaining = [e.point for e in tree.entries()]
+    if remaining:
+        query = (12.5, -7.5)
+        best = min(euclidean(p, query) for p in remaining)
+        assert abs(tree.nearest_neighbors(query, k=1)[0][0] - best) < 1e-9
+
+
+@given(points=point_sets, bulk=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_payload_union_of_root_is_every_payload(points, bulk):
+    tree = build_tree(points, bulk)
+    if points:
+        assert tree.root.payload_union == frozenset(range(len(points)))

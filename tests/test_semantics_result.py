@@ -1,0 +1,130 @@
+"""Tests for query semantics, the result object and query statistics."""
+
+import pytest
+
+from repro.core.result import RkNNTResult
+from repro.core.semantics import EXISTS, FORALL, Semantics
+from repro.core.stats import QueryStatistics
+
+
+class TestSemantics:
+    def test_coerce_from_string(self):
+        assert Semantics.coerce("exists") is EXISTS
+        assert Semantics.coerce("forall") is FORALL
+
+    def test_coerce_from_member(self):
+        assert Semantics.coerce(EXISTS) is EXISTS
+        assert Semantics.coerce(FORALL) is FORALL
+
+    def test_coerce_invalid(self):
+        with pytest.raises(ValueError):
+            Semantics.coerce("some")
+
+    def test_values(self):
+        assert EXISTS.value == "exists"
+        assert FORALL.value == "forall"
+
+
+class TestRkNNTResult:
+    def _confirmed(self):
+        return {
+            1: {"o"},
+            2: {"o", "d"},
+            3: {"d"},
+            4: set(),
+        }
+
+    def test_exists_aggregation(self):
+        result = RkNNTResult.from_confirmed(
+            self._confirmed(), EXISTS, k=3, stats=QueryStatistics()
+        )
+        assert result.transition_ids == {1, 2, 3}
+        assert result.semantics is EXISTS
+        assert result.k == 3
+
+    def test_forall_aggregation(self):
+        result = RkNNTResult.from_confirmed(
+            self._confirmed(), FORALL, k=3, stats=QueryStatistics()
+        )
+        assert result.transition_ids == {2}
+
+    def test_both_views_available_regardless_of_semantics(self):
+        result = RkNNTResult.from_confirmed(
+            self._confirmed(), EXISTS, k=3, stats=QueryStatistics()
+        )
+        assert result.exists_ids() == {1, 2, 3}
+        assert result.forall_ids() == {2}
+        # Lemma 1: ∀ ⊆ ∃.
+        assert result.forall_ids() <= result.exists_ids()
+
+    def test_len_and_contains(self):
+        result = RkNNTResult.from_confirmed(
+            self._confirmed(), EXISTS, k=1, stats=QueryStatistics()
+        )
+        assert len(result) == 3
+        assert 2 in result
+        assert 4 not in result
+
+    def test_confirmed_endpoints_are_frozen(self):
+        result = RkNNTResult.from_confirmed(
+            self._confirmed(), EXISTS, k=1, stats=QueryStatistics()
+        )
+        assert result.confirmed_endpoints[2] == frozenset({"o", "d"})
+        assert isinstance(result.confirmed_endpoints[1], frozenset)
+
+
+class TestQueryStatistics:
+    def test_total_seconds(self):
+        stats = QueryStatistics(filtering_seconds=1.5, verification_seconds=0.5)
+        assert stats.total_seconds == pytest.approx(2.0)
+
+    def test_merge_accumulates(self):
+        first = QueryStatistics(
+            filtering_seconds=1.0,
+            verification_seconds=2.0,
+            route_nodes_visited=5,
+            transition_nodes_visited=7,
+            filter_points=3,
+            nodes_pruned=2,
+            candidates=10,
+            confirmed_points=4,
+            subqueries=1,
+        )
+        second = QueryStatistics(
+            filtering_seconds=0.5,
+            verification_seconds=0.25,
+            route_nodes_visited=1,
+            transition_nodes_visited=2,
+            filter_points=3,
+            nodes_pruned=4,
+            candidates=5,
+            confirmed_points=6,
+            subqueries=1,
+        )
+        first.merge(second)
+        assert first.filtering_seconds == pytest.approx(1.5)
+        assert first.verification_seconds == pytest.approx(2.25)
+        assert first.route_nodes_visited == 6
+        assert first.transition_nodes_visited == 9
+        assert first.filter_points == 6
+        assert first.nodes_pruned == 6
+        assert first.candidates == 15
+        assert first.confirmed_points == 10
+        assert first.subqueries == 2
+
+    def test_as_dict_round_trip(self):
+        stats = QueryStatistics(filtering_seconds=1.0, candidates=3)
+        data = stats.as_dict()
+        assert data["filtering_seconds"] == 1.0
+        assert data["candidates"] == 3
+        assert data["total_seconds"] == stats.total_seconds
+
+    def test_divide_conquer_reports_subqueries(self, toy_processor):
+        result = toy_processor.query(
+            [(0.0, 2.0), (4.0, 2.0), (8.0, 2.0)], k=2, method="divide-conquer"
+        )
+        assert result.stats.subqueries == 3
+
+    def test_single_query_reports_one_subquery(self, toy_processor):
+        result = toy_processor.query([(0.0, 2.0), (8.0, 2.0)], k=2)
+        assert result.stats.subqueries == 1

@@ -1,0 +1,96 @@
+"""Tests for the TR-tree wrapper (TransitionIndex)."""
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.index.transition_index import (
+    DESTINATION,
+    ORIGIN,
+    TransitionEntry,
+    TransitionIndex,
+)
+from repro.model.dataset import TransitionDataset
+from repro.model.transition import Transition
+
+
+class TestTransitionEntry:
+    def test_valid_endpoints(self):
+        TransitionEntry(1, ORIGIN)
+        TransitionEntry(1, DESTINATION)
+
+    def test_invalid_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            TransitionEntry(1, "x")
+
+    def test_hashable_and_frozen(self):
+        tag = TransitionEntry(3, ORIGIN)
+        assert tag in {TransitionEntry(3, ORIGIN)}
+        with pytest.raises(AttributeError):
+            tag.endpoint = DESTINATION
+
+
+class TestConstruction:
+    def test_two_entries_per_transition(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        assert index.endpoint_count() == 2 * len(toy_transitions)
+
+    def test_empty_dataset(self):
+        index = TransitionIndex(TransitionDataset())
+        assert index.endpoint_count() == 0
+        assert index.root.bbox is None
+
+    def test_transition_lookup(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        assert index.transition(3).transition_id == 3
+
+    def test_endpoints_in_box(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        box = BoundingBox(0.0, 0.0, 8.0, 1.0)
+        tags = {(tag.transition_id, tag.endpoint) for _, tag in index.endpoints_in_box(box)}
+        # Transitions 0 (both endpoints) and 3 (origin) lie in that strip.
+        assert (0, ORIGIN) in tags
+        assert (3, ORIGIN) in tags
+        assert all(tid != 5 for tid, _ in tags)
+
+
+class TestDynamicUpdates:
+    def test_add_transition(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        before = index.endpoint_count()
+        new_transition = Transition(100, (1.0, 1.0), (2.0, 2.0))
+        toy_transitions.add(new_transition)
+        index.add_transition(new_transition)
+        assert index.endpoint_count() == before + 2
+        tags = {
+            tag.transition_id
+            for _, tag in index.endpoints_in_box(BoundingBox(0.5, 0.5, 2.5, 2.5))
+        }
+        assert 100 in tags
+
+    def test_remove_transition(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        before = index.endpoint_count()
+        transition = toy_transitions.get(5)
+        removed = index.remove_transition(transition)
+        assert removed == 2
+        assert index.endpoint_count() == before - 2
+
+    def test_remove_missing_transition_returns_zero(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        ghost = Transition(999, (100.0, 100.0), (101.0, 101.0))
+        assert index.remove_transition(ghost) == 0
+
+    def test_remove_only_targets_matching_transition(self, toy_transitions):
+        # Two transitions sharing an endpoint location: removing one must not
+        # disturb the other.
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        shared = Transition(200, (1.0, 0.3), (5.0, 5.0))
+        toy_transitions.add(shared)
+        index.add_transition(shared)
+        index.remove_transition(shared)
+        remaining = {
+            (tag.transition_id, tag.endpoint)
+            for _, tag in index.endpoints_in_box(BoundingBox(0.9, 0.2, 1.1, 0.4))
+        }
+        assert (0, ORIGIN) in remaining
+        assert (200, ORIGIN) not in remaining
