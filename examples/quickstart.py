@@ -72,6 +72,33 @@ def main() -> None:
     print("all methods agree with the brute-force oracle")
 
     # ------------------------------------------------------------------
+    # 2b. Batched queries: a whole workload through the execution engine.
+    # ------------------------------------------------------------------
+    # query_batch answers many queries through one shared execution context
+    # (vectorized geometry kernels, shared route matrix, memoised
+    # sub-queries) and returns element-wise identical results to query().
+    workload_queries = workload.query_routes(20, length=5, interval=1.0)
+
+    started = time.perf_counter()
+    loop_results = [processor.query(q, k) for q in workload_queries]
+    loop_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch_results = processor.query_batch(workload_queries, k)
+    batch_seconds = time.perf_counter() - started
+
+    assert all(
+        single.confirmed_endpoints == batch.confirmed_endpoints
+        for single, batch in zip(loop_results, batch_results)
+    ), "batch diverges from single queries!"
+    speedup = loop_seconds / batch_seconds if batch_seconds else float("inf")
+    print(
+        f"\nbatch of {len(workload_queries)} queries: "
+        f"loop {loop_seconds * 1000:.0f} ms vs batch {batch_seconds * 1000:.0f} ms "
+        f"({speedup:.1f}x, identical answers)"
+    )
+
+    # ------------------------------------------------------------------
     # 3. MaxRkNNT: the most attractive route between two stops.
     # ------------------------------------------------------------------
     print("\nPre-computing per-vertex RkNNT sets (Algorithm 5)...")

@@ -11,14 +11,25 @@ Quick start
 ...                        Route(1, [(0, 2), (1, 2), (2, 2)])])
 >>> transitions = TransitionDataset([Transition(0, (0.5, 0.2), (1.5, 0.1))])
 >>> processor = RkNNTProcessor(routes, transitions)
->>> result = processor.query([(0, 0.5), (2, 0.5)], k=1)
+>>> result = processor.query([(0, 0.5), (2, 0.5)], k=2)
 >>> sorted(result.transition_ids)
 [0]
+>>> [sorted(r.transition_ids) for r in processor.query_batch(
+...     [[(0, 0.5), (2, 0.5)], [(1, 1.8)]], k=2)]
+[[0], [0]]
 
-The three sub-packages mirror the paper's structure:
+Batch workloads go through :meth:`RkNNTProcessor.query_batch`, which shares
+the execution engine's per-dataset caches and (when numpy is installed) the
+vectorized geometry kernels across all queries — with answers element-wise
+identical to per-query :meth:`RkNNTProcessor.query` calls.
+
+The sub-packages mirror the paper's structure:
 
 * :mod:`repro.core` — the RkNNT filter-refine framework, its Voronoi and
   divide & conquer optimisations, and the brute-force baseline;
+* :mod:`repro.engine` — the unified query-execution engine behind all three
+  strategies (query plans, shared execution contexts, the staged
+  filter → prune → verify executor);
 * :mod:`repro.planning` — the MaxRkNNT / MinRkNNT optimal route planning
   query over a bus-network graph;
 * :mod:`repro.data` — synthetic city / check-in generators and a GTFS-like
@@ -35,6 +46,11 @@ from repro.core import (
     rknnt_bruteforce,
     rknnt_divide_conquer,
 )
+
+# Imported after repro.core: the engine's executor and core's strategy
+# wrappers reference each other's submodules, and core resolves the cycle
+# when it initialises first.
+from repro.engine import ExecutionContext, QueryPlan
 from repro.index import RouteIndex, TransitionIndex, RTree
 from repro.planning import (
     BusNetwork,
@@ -44,9 +60,11 @@ from repro.planning import (
 )
 from repro.data import CityGenerator, TransitionGenerator, SyntheticCity
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExecutionContext",
+    "QueryPlan",
     "Route",
     "Transition",
     "RouteDataset",

@@ -10,6 +10,7 @@ declares what varies.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -147,6 +148,116 @@ def time_rknnt_methods(
             )
         )
     return timings
+
+
+@dataclass
+class BatchThroughput:
+    """Loop-of-single vs. batched execution of one workload.
+
+    ``loop_seconds`` measures one :meth:`~repro.core.rknnt.RkNNTProcessor
+    .query` call per query (the scalar path); ``batch_seconds`` measures one
+    :meth:`~repro.core.rknnt.RkNNTProcessor.query_batch` call over the same
+    workload (shared execution context + vectorized kernels).  The two
+    result lists are always checked element-wise identical before timings
+    are reported.
+    """
+
+    method: str
+    backend: str
+    queries: int
+    k: int
+    loop_seconds: float
+    batch_seconds: float
+    result_size: float
+
+    @property
+    def speedup(self) -> float:
+        """Loop time over batch time (> 1 means batching wins)."""
+        if self.batch_seconds == 0.0:
+            return float("inf")
+        return self.loop_seconds / self.batch_seconds
+
+    @property
+    def loop_qps(self) -> float:
+        return self.queries / self.loop_seconds if self.loop_seconds else 0.0
+
+    @property
+    def batch_qps(self) -> float:
+        return self.queries / self.batch_seconds if self.batch_seconds else 0.0
+
+    def as_row(self) -> Dict[str, float | str]:
+        return {
+            "method": METHOD_LABELS.get(self.method, self.method),
+            "backend": self.backend,
+            "queries": self.queries,
+            "loop_s": self.loop_seconds,
+            "batch_s": self.batch_seconds,
+            "loop_qps": self.loop_qps,
+            "batch_qps": self.batch_qps,
+            "speedup": self.speedup,
+            "avg_results": self.result_size,
+        }
+
+
+def time_batch_throughput(
+    processor: RkNNTProcessor,
+    queries: Sequence[Sequence[Sequence[float]]],
+    k: int,
+    method: str = VORONOI,
+    backend: str = "auto",
+    repeats: int = 1,
+) -> BatchThroughput:
+    """Time a workload as a loop of single queries and as one batch.
+
+    Raises ``AssertionError`` if the batch answers differ from the
+    per-query answers anywhere — throughput numbers for wrong answers are
+    meaningless, so the check is unconditional.
+
+    ``repeats`` re-times each side that many times and keeps the fastest
+    observation (the standard way to damp GC pauses and scheduler noise on
+    shared machines; CI uses 3).  The engine caches are cleared before
+    every batch repeat so each one measures the same cold-cache work —
+    otherwise divide & conquer repeats would be served from the memoised
+    sub-queries and the "speedup" would measure the cache, not the batch
+    execution.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    loop_seconds = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        singles = [processor.query(query, k, method=method) for query in queries]
+        loop_seconds = min(loop_seconds, time.perf_counter() - started)
+
+    batch_seconds = math.inf
+    for _ in range(repeats):
+        processor.engine_context.clear_caches()
+        started = time.perf_counter()
+        batched = processor.query_batch(
+            queries, k, method=method, backend=backend
+        )
+        batch_seconds = min(batch_seconds, time.perf_counter() - started)
+
+    for index, (single, batch) in enumerate(zip(singles, batched)):
+        assert single.confirmed_endpoints == batch.confirmed_endpoints, (
+            f"batch result diverges from single query at index {index}"
+        )
+
+    from repro.geometry.kernels import resolve_backend
+
+    return BatchThroughput(
+        method=method,
+        backend=resolve_backend(backend),
+        queries=len(queries),
+        k=k,
+        loop_seconds=loop_seconds,
+        batch_seconds=batch_seconds,
+        result_size=(
+            sum(len(result) for result in batched) / len(batched)
+            if batched
+            else 0.0
+        ),
+    )
 
 
 def sweep_parameter(

@@ -72,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", required=True, help="directory for routes.csv / transitions.csv"
     )
 
-    query = subparsers.add_parser("query", help="run one RkNNT query")
+    query = subparsers.add_parser(
+        "query", help="run one RkNNT query (or a batch of them)"
+    )
     _add_data_arguments(query)
     query.add_argument(
         "--point",
@@ -81,8 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         action="append",
         metavar=("X", "Y"),
-        required=True,
         help="query point; repeat for multi-point queries",
+    )
+    query.add_argument(
+        "--batch-file",
+        help=(
+            "file with one query per line (whitespace-separated "
+            "'x1 y1 x2 y2 ...'; blank lines and #-comments ignored); the "
+            "whole workload is answered through the batched execution "
+            "engine and per-query plus aggregate throughput is reported"
+        ),
     )
     query.add_argument(
         "--method", choices=METHODS, default=VORONOI, help="evaluation strategy"
@@ -159,9 +169,45 @@ def command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_batch_file(path: str) -> List[List[tuple]]:
+    """Parse a batch file: one query per line, whitespace-separated floats."""
+    if not os.path.exists(path):
+        raise SystemExit(f"error: batch file {path} does not exist")
+    queries: List[List[tuple]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            values = text.replace(",", " ").split()
+            if len(values) % 2 != 0:
+                raise SystemExit(
+                    f"error: {path}:{line_number}: expected an even number "
+                    f"of coordinates, got {len(values)}"
+                )
+            try:
+                floats = [float(value) for value in values]
+            except ValueError:
+                raise SystemExit(
+                    f"error: {path}:{line_number}: non-numeric coordinate"
+                )
+            queries.append(
+                [(floats[i], floats[i + 1]) for i in range(0, len(floats), 2)]
+            )
+    if not queries:
+        raise SystemExit(f"error: batch file {path} contains no queries")
+    return queries
+
+
 def command_query(args: argparse.Namespace) -> int:
+    if args.batch_file is None and not args.points:
+        raise SystemExit("error: provide --point (repeatable) or --batch-file")
+    if args.batch_file is not None and args.points:
+        raise SystemExit("error: --point and --batch-file are mutually exclusive")
     routes, transitions = _load_datasets(args.data_dir)
     processor = RkNNTProcessor(routes, transitions)
+    if args.batch_file is not None:
+        return _run_query_batch(args, processor, transitions)
     query_points = [tuple(point) for point in args.points]
     result = processor.query(
         query_points, args.k, method=args.method, semantics=args.semantics
@@ -193,12 +239,50 @@ def command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_query_batch(args, processor, transitions) -> int:
+    """Answer every query of ``--batch-file`` through the batched engine."""
+    import time
+
+    queries = _load_batch_file(args.batch_file)
+    started = time.perf_counter()
+    results = processor.query_batch(
+        queries, args.k, method=args.method, semantics=args.semantics
+    )
+    elapsed = time.perf_counter() - started
+
+    rows = []
+    for index, (query, result) in enumerate(zip(queries, results)):
+        rows.append(
+            {
+                "query": index,
+                "points": len(query),
+                "results": len(result),
+                "candidates": result.stats.candidates,
+                "ms": result.stats.total_seconds * 1000.0,
+            }
+        )
+    print(
+        f"RkNNT batch of {len(queries)} queries (k={args.k}, "
+        f"method={args.method}, semantics={args.semantics})"
+    )
+    print(format_table(rows, precision=2))
+    throughput = len(queries) / elapsed if elapsed else 0.0
+    print(
+        f"total {elapsed * 1000:.1f} ms, {throughput:.1f} queries/s, "
+        f"{sum(len(result) for result in results)} transitions matched"
+    )
+    return 0
+
+
 def command_capacity(args: argparse.Namespace) -> int:
     routes, transitions = _load_datasets(args.data_dir)
     processor = RkNNTProcessor(routes, transitions)
     rows = []
-    for route in routes:
-        result = processor.query(route, args.k, method=VORONOI)
+    route_list = list(routes)
+    # One batch over all routes: the queries share the engine context's
+    # caches and the vectorized kernels instead of running in isolation.
+    results = processor.query_batch(route_list, args.k, method=VORONOI)
+    for route, result in zip(route_list, results):
         rows.append(
             {
                 "route": route.route_id,

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
 from repro.core.stats import QueryStatistics
-from repro.geometry.point import point_to_points_distance
+from repro.geometry.point import point_to_points_distance_sq
 from repro.model.dataset import RouteDataset, TransitionDataset
 from repro.model.route import Route
 
@@ -44,10 +44,6 @@ def knn_of_point_bruteforce(
     return distances[:k]
 
 
-def _query_distance(point: Sequence[float], query_points: Sequence[Sequence[float]]) -> float:
-    return point_to_points_distance(point, query_points)
-
-
 def rknnt_bruteforce(
     routes: RouteDataset,
     transitions: TransitionDataset,
@@ -59,8 +55,11 @@ def rknnt_bruteforce(
     """Exact RkNNT by running a kNN check for every transition endpoint.
 
     An endpoint is confirmed when strictly fewer than ``k`` routes are
-    strictly closer to it than the query route — the same tie handling as the
-    filter-refine framework, so results are directly comparable.
+    strictly closer to it than the query route.  The comparisons are between
+    *squared* distances — the same elementary-float expressions the
+    execution engine's verification stage evaluates on both backends — so
+    the oracle and the framework make bitwise-identical decisions even on
+    geometric near-ties.
     """
     semantics = Semantics.coerce(semantics)
     if isinstance(query, Route):
@@ -85,10 +84,10 @@ def rknnt_bruteforce(
             ("o", transition.origin),
             ("d", transition.destination),
         ):
-            threshold = _query_distance(point, query_points)
+            threshold_sq = point_to_points_distance_sq(point, query_points)
             closer = 0
             for route in candidate_routes:
-                if route.distance_to_point(point) < threshold:
+                if route.squared_distance_to_point(point) < threshold_sq:
                     closer += 1
                     if closer >= k:
                         break

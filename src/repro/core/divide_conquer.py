@@ -7,6 +7,13 @@ enjoys the largest possible filtering space (Definition 6 degenerates to a
 single half-plane intersection per filter point) — and unions the per-endpoint
 confirmations.
 
+The strategy is now a plan configuration of the unified execution engine
+(``QueryPlan(decompose=True)``); this module keeps the seed's functional
+entry point.  Sub-query statistics (node visits, filter points, candidate and
+verification counts, both phase timings) are summed into the parent result's
+:class:`~repro.core.stats.QueryStatistics`, so the reported cost covers every
+sub-query rather than only the last one.
+
 The ∀ semantics is applied only after the union, exactly as in the unified
 framework: a transition belongs to ``∀RkNNT(Q)`` when *both* of its endpoints
 take ``Q`` (i.e. some query point) among their k nearest routes.
@@ -14,12 +21,13 @@ take ``Q`` (i.e. some query point) among their k nearest routes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Set, Union
+from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.filtering import FilterRefineEngine
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
-from repro.core.stats import QueryStatistics
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute
+from repro.engine.plan import DIVIDE_CONQUER, QueryPlan
 from repro.index.route_index import RouteIndex
 from repro.index.transition_index import TransitionIndex
 
@@ -32,6 +40,8 @@ def rknnt_divide_conquer(
     semantics: Union[Semantics, str] = EXISTS,
     exclude_route_ids: Optional[Iterable[int]] = None,
     use_voronoi: bool = True,
+    context: Optional[ExecutionContext] = None,
+    backend: str = "python",
 ) -> RkNNTResult:
     """Answer an RkNNT query by decomposing it into per-point sub-queries.
 
@@ -53,26 +63,26 @@ def rknnt_divide_conquer(
         this mainly helps when several filter points of one route each fail
         individually; the paper's divide & conquer builds on the full
         framework, so it defaults to on.
+    context:
+        Optional shared :class:`~repro.engine.context.ExecutionContext`
+        (e.g. the one owned by a processor); a private one is created when
+        omitted.
+    backend:
+        Geometry-kernel backend for the sub-queries.
     """
-    semantics = Semantics.coerce(semantics)
-    points = [(float(p[0]), float(p[1])) for p in query_points]
-    if not points:
-        raise ValueError("query must contain at least one point")
-    excluded = set(exclude_route_ids or ())
-
-    aggregate_stats = QueryStatistics(subqueries=0)
-    confirmed: Dict[int, Set[str]] = {}
-    for point in points:
-        engine = FilterRefineEngine(
-            route_index,
-            transition_index,
-            k,
-            use_voronoi=use_voronoi,
-            exclude_route_ids=excluded,
-        )
-        sub_confirmed = engine.run([point])
-        aggregate_stats.merge(engine.stats)
-        for transition_id, endpoints in sub_confirmed.items():
-            confirmed.setdefault(transition_id, set()).update(endpoints)
-
-    return RkNNTResult.from_confirmed(confirmed, semantics, k, aggregate_stats)
+    if context is None:
+        context = ExecutionContext(route_index, transition_index)
+    plan = QueryPlan(
+        method=DIVIDE_CONQUER,
+        use_voronoi=use_voronoi,
+        decompose=True,
+        backend=backend,
+    )
+    return execute(
+        context,
+        query_points,
+        k,
+        plan,
+        semantics,
+        exclude_route_ids=exclude_route_ids,
+    )

@@ -1,9 +1,18 @@
 """The filter–refine engine: Algorithms 2, 3 and 4 of the paper.
 
-``FilterRefineEngine`` traverses the RR-tree to build a *filtering set* of
-route points (Algorithm 2 / ``FilterRoute``), uses it to prune TR-tree nodes
-and transition endpoints (Algorithm 4 / ``PruneTransition``), and finally
-verifies the surviving candidates exactly (Section 4.2.3).
+Historically this module contained the whole scalar implementation; the
+pipeline now lives in the unified execution engine
+(:mod:`repro.engine.executor`), shared by all three evaluation strategies and
+by both geometry backends.  What remains here is the backward-compatible
+entry point:
+
+* :class:`FilterSet` — re-exported from :mod:`repro.engine.filterset`;
+* :class:`FilterRefineEngine` — a :class:`~repro.engine.executor
+  .QueryExecutor` bound to a private execution context, keeping the seed's
+  constructor signature (``route_index, transition_index, k, ...``) and its
+  stage-level methods (``filter_routes`` / ``prune_transitions`` /
+  ``verify`` / ``is_filtered`` / ``run``), which the unit and property tests
+  drive directly.
 
 Pruning rule.  A node (or point) can be discarded as soon as at least ``k``
 *distinct* routes are provably strictly closer to it than the query:
@@ -21,89 +30,26 @@ framework returns exactly the same answer as the brute-force baseline.
 
 from __future__ import annotations
 
-import time
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Iterable, Optional
 
-from repro.geometry.bbox import BoundingBox
-from repro.geometry.halfspace import filtering_space_contains_bbox
-from repro.geometry.voronoi import voronoi_prunes_bbox
-from repro.core.knn import count_routes_within, query_distance
-from repro.core.stats import QueryStatistics
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryExecutor
+from repro.engine.filterset import FilterSet
 from repro.index.route_index import RouteIndex
-from repro.index.rtree import RTreeEntry, RTreeNode
-from repro.index.transition_index import TransitionIndex, TransitionEntry
+from repro.index.transition_index import TransitionIndex
 
-import heapq
-import itertools
-
-QueryPoints = Sequence[Sequence[float]]
+__all__ = ["FilterSet", "FilterRefineEngine"]
 
 
-class FilterSet:
-    """The filtering set ``S_filter`` (Section 4.2.1).
-
-    Two views are maintained, mirroring the paper's ``S_filter.P`` and
-    ``S_filter.R``:
-
-    * ``points`` — filter points sorted by decreasing crossover degree
-      ``|C(r)|`` so that points shared by many routes are tried first;
-    * ``routes`` — for each route id, the filter points belonging to it,
-      which is what the Voronoi per-route pruning consumes.
-    """
-
-    def __init__(self) -> None:
-        self._points: List[Tuple[Tuple[float, float], FrozenSet[int]]] = []
-        self._routes: Dict[int, List[Tuple[float, float]]] = {}
-        self._seen: Set[Tuple[float, float]] = set()
-        self._sorted = True
-
-    def add(self, point: Sequence[float], crossover_routes: FrozenSet[int]) -> None:
-        """Add a filter point with its crossover route set ``C(r)``."""
-        key = (float(point[0]), float(point[1]))
-        if key in self._seen:
-            return
-        self._seen.add(key)
-        self._points.append((key, crossover_routes))
-        self._sorted = False
-        for route_id in crossover_routes:
-            self._routes.setdefault(route_id, []).append(key)
-
-    def points_by_crossover(
-        self,
-    ) -> List[Tuple[Tuple[float, float], FrozenSet[int]]]:
-        """Filter points in decreasing order of ``|C(r)|``."""
-        if not self._sorted:
-            self._points.sort(key=lambda item: -len(item[1]))
-            self._sorted = True
-        return self._points
-
-    @property
-    def route_ids(self) -> Set[int]:
-        """Route ids represented in the filtering set (``S_filter.R`` keys)."""
-        return set(self._routes)
-
-    def route_points(self, route_id: int) -> List[Tuple[float, float]]:
-        """Filter points belonging to ``route_id``."""
-        return self._routes.get(route_id, [])
-
-    def __len__(self) -> int:
-        return len(self._points)
-
-    def __repr__(self) -> str:
-        return f"FilterSet(points={len(self._points)}, routes={len(self._routes)})"
-
-
-class FilterRefineEngine:
+class FilterRefineEngine(QueryExecutor):
     """Executes one RkNNT query with the filter-refine framework.
+
+    A thin strategy configuration over the unified
+    :class:`~repro.engine.executor.QueryExecutor`: it owns a private
+    :class:`~repro.engine.context.ExecutionContext` for the given index pair
+    and defaults to the scalar geometry backend, matching the seed's
+    behaviour exactly.  Callers holding a shared context (batch workloads)
+    should construct :class:`QueryExecutor` directly instead.
 
     Parameters
     ----------
@@ -118,6 +64,9 @@ class FilterRefineEngine:
     exclude_route_ids:
         Routes that must not count against candidates (used when the query is
         an existing route still present in the index).
+    backend:
+        Geometry-kernel backend (``"python"`` by default; ``"numpy"`` or
+        ``"auto"`` opt into the vectorized kernels).
     """
 
     def __init__(
@@ -127,189 +76,20 @@ class FilterRefineEngine:
         k: int,
         use_voronoi: bool = False,
         exclude_route_ids: Optional[Iterable[int]] = None,
+        backend: str = "python",
     ):
-        if k <= 0:
-            raise ValueError("k must be positive")
-        self.route_index = route_index
-        self.transition_index = transition_index
-        self.k = k
-        self.use_voronoi = use_voronoi
-        self.excluded: FrozenSet[int] = frozenset(exclude_route_ids or ())
-        self.stats = QueryStatistics()
-        self.filter_set = FilterSet()
-        self.refine_nodes: List[RTreeNode] = []
+        super().__init__(
+            ExecutionContext(route_index, transition_index),
+            k,
+            use_voronoi=use_voronoi,
+            exclude_route_ids=exclude_route_ids,
+            backend=backend,
+        )
 
-    # ------------------------------------------------------------------
-    # Algorithm 3: IsFiltered
-    # ------------------------------------------------------------------
-    def is_filtered(self, box: BoundingBox, query_points: QueryPoints) -> bool:
-        """True when at least ``k`` distinct routes provably dominate ``box``.
+    @property
+    def route_index(self) -> RouteIndex:
+        return self.context.route_index
 
-        Step 1 walks the filter points in decreasing crossover degree and adds
-        a point's whole crossover route set once the box lies in its filtering
-        space.  Step 2 (only with the Voronoi optimisation) tries each
-        remaining filtering route as a whole.
-        """
-        dominating: Set[int] = set()
-        # Step 1: individual filter points, highest crossover degree first.
-        for point, crossover in self.filter_set.points_by_crossover():
-            if len(dominating) >= self.k:
-                return True
-            if crossover <= dominating:
-                continue
-            if filtering_space_contains_bbox(box, point, query_points):
-                dominating.update(crossover - self.excluded)
-        if len(dominating) >= self.k:
-            return True
-        # Step 2: whole filtering routes via the Voronoi filtering space.
-        if self.use_voronoi:
-            for route_id in self.filter_set.route_ids:
-                if len(dominating) >= self.k:
-                    return True
-                if route_id in dominating or route_id in self.excluded:
-                    continue
-                route_points = self.filter_set.route_points(route_id)
-                if len(route_points) < 2:
-                    continue
-                if voronoi_prunes_bbox(box, route_points, query_points):
-                    dominating.add(route_id)
-        return len(dominating) >= self.k
-
-    # ------------------------------------------------------------------
-    # Algorithm 2: FilterRoute
-    # ------------------------------------------------------------------
-    def filter_routes(self, query_points: QueryPoints) -> None:
-        """Traverse the RR-tree, building the filter set and the refine set."""
-        tree = self.route_index.tree
-        if len(tree) == 0 or tree.root.bbox is None:
-            return
-        counter = itertools.count()
-        heap: List[Tuple[float, int, object]] = [
-            (
-                tree.root.bbox.min_dist_to_query(query_points),
-                next(counter),
-                tree.root,
-            )
-        ]
-        while heap:
-            _, _, item = heapq.heappop(heap)
-            if isinstance(item, RTreeNode):
-                self.stats.route_nodes_visited += 1
-                assert item.bbox is not None
-                if self.is_filtered(item.bbox, query_points):
-                    # Keep the pruned node for the verification phase (its
-                    # NList supplies whole sets of closer routes at once).
-                    self.refine_nodes.append(item)
-                    self.stats.nodes_pruned += 1
-                    continue
-                for child in item.children:
-                    if isinstance(child, RTreeNode):
-                        if child.bbox is None:
-                            continue
-                        d = child.bbox.min_dist_to_query(query_points)
-                    else:
-                        d = query_distance(child.point, query_points)
-                    heapq.heappush(heap, (d, next(counter), child))
-            else:
-                assert isinstance(item, RTreeEntry)
-                crossover = frozenset(item.payload) - self.excluded
-                if not crossover:
-                    continue
-                self.filter_set.add(item.point, crossover)
-                self.stats.filter_points += 1
-
-    # ------------------------------------------------------------------
-    # Algorithm 4: PruneTransition
-    # ------------------------------------------------------------------
-    def prune_transitions(
-        self, query_points: QueryPoints
-    ) -> List[Tuple[Tuple[float, float], TransitionEntry]]:
-        """Traverse the TR-tree, returning the candidate endpoints."""
-        candidates: List[Tuple[Tuple[float, float], TransitionEntry]] = []
-        tree = self.transition_index.tree
-        if len(tree) == 0 or tree.root.bbox is None:
-            return candidates
-        counter = itertools.count()
-        heap: List[Tuple[float, int, object]] = [
-            (
-                tree.root.bbox.min_dist_to_query(query_points),
-                next(counter),
-                tree.root,
-            )
-        ]
-        while heap:
-            _, _, item = heapq.heappop(heap)
-            if isinstance(item, RTreeNode):
-                self.stats.transition_nodes_visited += 1
-                assert item.bbox is not None
-                if self.is_filtered(item.bbox, query_points):
-                    self.stats.nodes_pruned += 1
-                    continue
-                for child in item.children:
-                    if isinstance(child, RTreeNode):
-                        if child.bbox is None:
-                            continue
-                        d = child.bbox.min_dist_to_query(query_points)
-                    else:
-                        d = query_distance(child.point, query_points)
-                    heapq.heappush(heap, (d, next(counter), child))
-            else:
-                assert isinstance(item, RTreeEntry)
-                if self.is_filtered(
-                    BoundingBox.from_point(item.point), query_points
-                ):
-                    continue
-                for tag in item.payload:
-                    candidates.append((item.point, tag))
-        self.stats.candidates += len(candidates)
-        return candidates
-
-    # ------------------------------------------------------------------
-    # Section 4.2.3: verification
-    # ------------------------------------------------------------------
-    def verify(
-        self,
-        query_points: QueryPoints,
-        candidates: List[Tuple[Tuple[float, float], TransitionEntry]],
-    ) -> Dict[int, Set[str]]:
-        """Exactly verify each candidate endpoint.
-
-        A candidate endpoint is confirmed when fewer than ``k`` distinct
-        routes are strictly closer to it than the query.  The count uses the
-        RR-tree with the NList shortcut (whole nodes whose maximum distance is
-        below the threshold contribute all of their routes at once), which is
-        the role the paper assigns to ``S_refine``.
-        """
-        confirmed: Dict[int, Set[str]] = {}
-        for point, tag in candidates:
-            threshold = query_distance(point, query_points)
-            closer = count_routes_within(
-                self.route_index,
-                point,
-                threshold,
-                stop_at=self.k,
-                exclude_route_ids=set(self.excluded),
-            )
-            if closer < self.k:
-                confirmed.setdefault(tag.transition_id, set()).add(tag.endpoint)
-                self.stats.confirmed_points += 1
-        return confirmed
-
-    # ------------------------------------------------------------------
-    # Algorithm 1: the full pipeline
-    # ------------------------------------------------------------------
-    def run(self, query_points: QueryPoints) -> Dict[int, Set[str]]:
-        """Execute filter → prune → verify and return confirmed endpoints."""
-        query = [(float(p[0]), float(p[1])) for p in query_points]
-        if not query:
-            raise ValueError("query must contain at least one point")
-
-        started = time.perf_counter()
-        self.filter_routes(query)
-        candidates = self.prune_transitions(query)
-        self.stats.filtering_seconds += time.perf_counter() - started
-
-        started = time.perf_counter()
-        confirmed = self.verify(query, candidates)
-        self.stats.verification_seconds += time.perf_counter() - started
-        return confirmed
+    @property
+    def transition_index(self) -> TransitionIndex:
+        return self.context.transition_index

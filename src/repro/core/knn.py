@@ -18,7 +18,7 @@ import itertools
 import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.geometry.point import euclidean
+from repro.geometry.point import euclidean, squared_euclidean
 from repro.index.route_index import RouteIndex
 from repro.index.rtree import RTreeEntry, RTreeNode
 
@@ -30,6 +30,24 @@ def query_distance(
     best = math.inf
     for q in query_points:
         d = euclidean(point, q)
+        if d < best:
+            best = d
+    return best
+
+
+def query_distance_sq(
+    point: Sequence[float], query_points: Sequence[Sequence[float]]
+) -> float:
+    """Squared ``dist(t, Q)``: the verification threshold of the engine.
+
+    Squared distances are exact elementary-float expressions (no ``sqrt`` /
+    ``hypot`` rounding), so the scalar and vectorized execution backends
+    compute bitwise-identical thresholds and confirm exactly the same
+    endpoints.
+    """
+    best = math.inf
+    for q in query_points:
+        d = squared_euclidean(point, q)
         if d < best:
             best = d
     return best
@@ -81,6 +99,9 @@ def count_routes_within(
     node whose *maximum* distance to ``point`` is below ``threshold`` has all
     of its routes closer, so they are added without opening the node.
 
+    :func:`count_routes_within_sq` mirrors this traversal with squared
+    comparisons — keep structural changes in sync between the two.
+
     Parameters
     ----------
     stop_at:
@@ -128,6 +149,64 @@ def count_routes_within(
     return len(found)
 
 
+def count_routes_within_sq(
+    route_index: RouteIndex,
+    point: Sequence[float],
+    threshold_sq: float,
+    stop_at: Optional[int] = None,
+    exclude_route_ids: Optional[Set[int]] = None,
+) -> int:
+    """Squared-threshold variant of :func:`count_routes_within`.
+
+    Identical traversal and NList shortcut, but every comparison is between
+    squared distances.  This is the scalar half of the engine's verification
+    stage; :func:`repro.geometry.kernels.count_closer_routes` is the
+    vectorized half, and the two make identical decisions because they
+    evaluate the same elementary-float expressions.
+
+    The traversal deliberately mirrors :func:`count_routes_within` rather
+    than sharing a callable-parameterised core: the hot loop stays free of
+    indirection and each variant's float expressions stay literal.  Keep
+    structural changes (early exit, NList handling) in sync between the two.
+    """
+    excluded = exclude_route_ids or frozenset()
+    found: Set[int] = set()
+    tree = route_index.tree
+    if len(tree) == 0 or tree.root.bbox is None:
+        return 0
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, RTreeNode]] = [
+        (tree.root.bbox.min_dist_sq(point), next(counter), tree.root)
+    ]
+    while heap:
+        min_dist_sq, _, node = heapq.heappop(heap)
+        if min_dist_sq >= threshold_sq:
+            # Every remaining node is at least this far: nothing closer left.
+            break
+        if stop_at is not None and len(found) >= stop_at:
+            break
+        assert node.bbox is not None
+        if node.bbox.max_dist_sq(point) < threshold_sq:
+            # NList shortcut: every route below this node is strictly closer.
+            found.update(node.payload_union - excluded)
+            continue
+        if node.is_leaf:
+            for entry in node.children:
+                assert isinstance(entry, RTreeEntry)
+                if squared_euclidean(entry.point, point) < threshold_sq:
+                    found.update(set(entry.payload) - excluded)
+        else:
+            for child in node.children:
+                assert isinstance(child, RTreeNode)
+                if child.bbox is None:
+                    continue
+                child_min_sq = child.bbox.min_dist_sq(point)
+                if child_min_sq < threshold_sq:
+                    heapq.heappush(heap, (child_min_sq, next(counter), child))
+    return len(found)
+
+
 def point_takes_query_as_knn(
     route_index: RouteIndex,
     point: Sequence[float],
@@ -139,13 +218,14 @@ def point_takes_query_as_knn(
 
     Implemented as: fewer than ``k`` distinct routes are strictly closer to
     ``point`` than the query is (ties therefore favour the query, matching
-    the strict half-plane pruning used by the filter phase).
+    the strict half-plane pruning used by the filter phase).  Uses the
+    squared-distance comparison, like the engine's verification stage.
     """
-    threshold = query_distance(point, query_points)
-    closer = count_routes_within(
+    threshold_sq = query_distance_sq(point, query_points)
+    closer = count_routes_within_sq(
         route_index,
         point,
-        threshold,
+        threshold_sq,
         stop_at=k,
         exclude_route_ids=exclude_route_ids,
     )

@@ -1,0 +1,50 @@
+"""The unified query-execution engine.
+
+Every RkNNT evaluation strategy in the paper — basic filter–refine
+(Section 4), the Voronoi optimisation (Section 5.1) and divide & conquer
+(Section 5.2) — is the same three-stage pipeline with different knobs:
+
+    filter  (build the filtering set from the RR-tree)
+      → prune  (discard TR-tree nodes/endpoints dominated by ≥ k routes)
+      → verify (exactly check the survivors)
+
+This package factors that pipeline out of the per-method modules:
+
+* :mod:`repro.engine.plan` — :class:`QueryPlan`, the declarative description
+  of a strategy (which filter to use, whether to decompose per query point,
+  which geometry backend to run on);
+* :mod:`repro.engine.context` — :class:`ExecutionContext`, the per-dataset
+  caches shared across queries of a workload (flattened route matrices for
+  vectorized verification, memoised single-point sub-query answers);
+* :mod:`repro.engine.filterset` — the filtering set ``S_filter`` with packed
+  array views for the vectorized kernels;
+* :mod:`repro.engine.executor` — :class:`QueryExecutor` (the staged
+  pipeline) and the :func:`execute` entry point.
+
+The geometry kernels themselves live in :mod:`repro.geometry.kernels`; the
+engine is backend-agnostic and produces element-wise identical answers on
+the numpy and pure-Python backends.
+"""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import QueryExecutor, execute
+from repro.engine.filterset import FilterSet
+from repro.engine.plan import (
+    DIVIDE_CONQUER,
+    FILTER_REFINE,
+    METHODS,
+    QueryPlan,
+    VORONOI,
+)
+
+__all__ = [
+    "DIVIDE_CONQUER",
+    "ExecutionContext",
+    "FILTER_REFINE",
+    "FilterSet",
+    "METHODS",
+    "QueryExecutor",
+    "QueryPlan",
+    "VORONOI",
+    "execute",
+]

@@ -184,6 +184,26 @@ class BoundingBox:
             dy = y - self.max_y
         return math.hypot(dx, dy)
 
+    def min_dist_sq(self, point: Sequence[float]) -> float:
+        """Squared ``MinDist``; avoids the sqrt when only comparing.
+
+        Squared distances are exact elementary-float expressions, so the
+        scalar and vectorized execution backends compute bitwise-identical
+        values and make identical pruning/verification decisions.
+        """
+        dx = 0.0
+        dy = 0.0
+        x, y = point[0], point[1]
+        if x < self.min_x:
+            dx = self.min_x - x
+        elif x > self.max_x:
+            dx = x - self.max_x
+        if y < self.min_y:
+            dy = self.min_y - y
+        elif y > self.max_y:
+            dy = y - self.max_y
+        return dx * dx + dy * dy
+
     def max_dist(self, point: Sequence[float]) -> float:
         """Maximum Euclidean distance from ``point`` to this box."""
         x, y = point[0], point[1]
@@ -191,11 +211,29 @@ class BoundingBox:
         dy = max(abs(y - self.min_y), abs(y - self.max_y))
         return math.hypot(dx, dy)
 
+    def max_dist_sq(self, point: Sequence[float]) -> float:
+        """Squared maximum distance from ``point`` to this box."""
+        x, y = point[0], point[1]
+        dx = max(abs(x - self.min_x), abs(x - self.max_x))
+        dy = max(abs(y - self.min_y), abs(y - self.max_y))
+        return dx * dx + dy * dy
+
     def min_dist_to_query(self, query_points: Iterable[Sequence[float]]) -> float:
         """``MinDist(Q, c)`` of Equation 3: minimum over all query points."""
         best = math.inf
         for q in query_points:
             d = self.min_dist(q)
+            if d < best:
+                best = d
+        return best
+
+    def min_dist_sq_to_query(
+        self, query_points: Iterable[Sequence[float]]
+    ) -> float:
+        """Squared ``MinDist(Q, c)``: minimum squared distance over the query."""
+        best = math.inf
+        for q in query_points:
+            d = self.min_dist_sq(q)
             if d < best:
                 best = d
         return best

@@ -1,0 +1,369 @@
+"""Vectorized geometry kernels with an automatic pure-Python fallback.
+
+The filter-refine framework spends almost all of its time in four geometric
+primitives, evaluated once per R-tree node / transition endpoint / candidate:
+
+* ``MinDist``-to-query lower bounds (best-first traversal ordering),
+* half-plane containment of a box (Definition 6, the filtering space),
+* the per-route Voronoi domination test (Definition 8), and
+* point–polyline (point-to-route) distances (verification thresholds).
+
+This module provides *batch* versions of those primitives: one call evaluates
+a whole block of boxes or points against a whole block of filter/query points,
+so the per-tuple Python interpreter overhead is paid once per block instead of
+once per tuple.  When numpy is available the batch kernels are numpy
+expressions; otherwise they fall back to loops over the scalar predicates in
+:mod:`repro.geometry.halfspace` — the results are identical either way, which
+the differential tests in ``tests/test_engine_kernels.py`` assert.
+
+Determinism.  Every kernel evaluates the *same* elementary-float expression
+as its scalar counterpart (no transcendental functions, squared distances
+instead of ``hypot``), so the numpy and Python backends agree bitwise and the
+batched execution engine returns element-wise identical answers to the scalar
+one.
+
+Backend selection
+-----------------
+``numpy_available()`` reports whether numpy could be imported *and* was not
+disabled via the ``RKNNT_PURE_PYTHON`` environment variable (set it to ``1``
+to force the fallback path, e.g. in CI).  :func:`resolve_backend` maps the
+user-facing ``"auto" | "numpy" | "python"`` choice onto a concrete backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via the CI matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Set ``RKNNT_PURE_PYTHON=1`` to force the pure-Python kernels even when
+#: numpy is importable (used by the CI fallback job and the kernel tests).
+_FORCED_PURE = os.environ.get("RKNNT_PURE_PYTHON", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+)
+
+BACKEND_AUTO = "auto"
+BACKEND_NUMPY = "numpy"
+BACKEND_PYTHON = "python"
+BACKENDS = (BACKEND_AUTO, BACKEND_NUMPY, BACKEND_PYTHON)
+
+Coords = Sequence[Sequence[float]]
+BoxTuples = Sequence[Tuple[float, float, float, float]]
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be used."""
+    return _np is not None and not _FORCED_PURE
+
+
+def resolve_backend(backend: str = BACKEND_AUTO) -> str:
+    """Resolve ``"auto"`` to a concrete backend, validating the name.
+
+    Raises
+    ------
+    ValueError
+        If ``backend`` is unknown, or ``"numpy"`` is requested but numpy is
+        unavailable (or disabled via ``RKNNT_PURE_PYTHON``).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == BACKEND_AUTO:
+        return BACKEND_NUMPY if numpy_available() else BACKEND_PYTHON
+    if backend == BACKEND_NUMPY and not numpy_available():
+        raise ValueError(
+            "numpy backend requested but numpy is not available "
+            "(or RKNNT_PURE_PYTHON is set)"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Packing helpers
+# ----------------------------------------------------------------------
+def pack_points(points: Coords):
+    """Pack ``(x, y)`` pairs into an ``(N, 2)`` float64 array (or list)."""
+    if numpy_available():
+        arr = _np.asarray(points, dtype=_np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(0, 2) if arr.size == 0 else arr.reshape(1, 2)
+        return arr
+    return [(float(p[0]), float(p[1])) for p in points]
+
+
+def pack_boxes(boxes: BoxTuples):
+    """Pack ``(min_x, min_y, max_x, max_y)`` tuples into an ``(N, 4)`` array."""
+    if numpy_available():
+        arr = _np.asarray(boxes, dtype=_np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(0, 4) if arr.size == 0 else arr.reshape(1, 4)
+        return arr
+    return [tuple(float(v) for v in b) for b in boxes]
+
+
+# ----------------------------------------------------------------------
+# MinDist lower bounds
+# ----------------------------------------------------------------------
+def points_min_dist_sq_to_query(points, query) -> List[float]:
+    """Squared distance from each point to its nearest query point.
+
+    ``points`` and ``query`` are outputs of :func:`pack_points`.  Returns a
+    sequence of length ``len(points)``.
+    """
+    if numpy_available():
+        pts = _np.asarray(points, dtype=_np.float64)
+        qry = _np.asarray(query, dtype=_np.float64)
+        if len(pts) == 0:
+            return _np.zeros(0)
+        dx = pts[:, 0][:, None] - qry[:, 0][None, :]
+        dy = pts[:, 1][:, None] - qry[:, 1][None, :]
+        return (dx * dx + dy * dy).min(axis=1)
+    out = []
+    for px, py in points:
+        best = float("inf")
+        for qx, qy in query:
+            dx = px - qx
+            dy = py - qy
+            d = dx * dx + dy * dy
+            if d < best:
+                best = d
+        out.append(best)
+    return out
+
+
+def boxes_min_dist_sq_to_query(boxes, query) -> List[float]:
+    """Squared MinDist from each box to the query (minimum over query points).
+
+    ``boxes`` is the output of :func:`pack_boxes`, ``query`` of
+    :func:`pack_points`.
+    """
+    if numpy_available():
+        bxs = _np.asarray(boxes, dtype=_np.float64)
+        qry = _np.asarray(query, dtype=_np.float64)
+        if len(bxs) == 0:
+            return _np.zeros(0)
+        qx = qry[:, 0][None, :]
+        qy = qry[:, 1][None, :]
+        dx = _np.maximum(bxs[:, 0][:, None] - qx, 0.0) + _np.maximum(
+            qx - bxs[:, 2][:, None], 0.0
+        )
+        dy = _np.maximum(bxs[:, 1][:, None] - qy, 0.0) + _np.maximum(
+            qy - bxs[:, 3][:, None], 0.0
+        )
+        return (dx * dx + dy * dy).min(axis=1)
+    out = []
+    for min_x, min_y, max_x, max_y in boxes:
+        best = float("inf")
+        for qx, qy in query:
+            dx = min_x - qx if qx < min_x else (qx - max_x if qx > max_x else 0.0)
+            dy = min_y - qy if qy < min_y else (qy - max_y if qy > max_y else 0.0)
+            d = dx * dx + dy * dy
+            if d < best:
+                best = d
+        out.append(best)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Half-plane / filtering-space containment
+# ----------------------------------------------------------------------
+def box_halfplane_tensor(box, filter_points, query):
+    """``(F, Q)`` truth table: box ⊂ H_{r:q} for each filter/query pair.
+
+    ``box`` is a ``(min_x, min_y, max_x, max_y)`` tuple; ``filter_points``
+    and ``query`` are outputs of :func:`pack_points`.  Entry ``[i, j]`` is
+    True when the whole box lies strictly inside the half-plane of points
+    closer to filter point ``i`` than to query point ``j`` — the same test
+    as :meth:`repro.geometry.halfspace.HalfPlane.contains_bbox`.
+    """
+    min_x, min_y, max_x, max_y = box
+    if numpy_available():
+        flt = _np.asarray(filter_points, dtype=_np.float64)
+        qry = _np.asarray(query, dtype=_np.float64)
+        if len(flt) == 0:
+            return _np.zeros((0, len(qry)), dtype=bool)
+        rx = flt[:, 0][:, None]
+        ry = flt[:, 1][:, None]
+        qx = qry[:, 0][None, :]
+        qy = qry[:, 1][None, :]
+        a = 2.0 * (rx - qx)
+        b = 2.0 * (ry - qy)
+        c = (rx * rx + ry * ry) - (qx * qx + qy * qy)
+        # The corner of the box minimising a*x + b*y decides containment.
+        x = _np.where(a >= 0, min_x, max_x)
+        y = _np.where(b >= 0, min_y, max_y)
+        return a * x + b * y > c
+    table = []
+    for rx, ry in filter_points:
+        row = []
+        for qx, qy in query:
+            a = 2.0 * (rx - qx)
+            b = 2.0 * (ry - qy)
+            c = (rx * rx + ry * ry) - (qx * qx + qy * qy)
+            x = min_x if a >= 0 else max_x
+            y = min_y if b >= 0 else max_y
+            row.append(a * x + b * y > c)
+        table.append(row)
+    return table
+
+
+def boxes_halfplane_tensor(boxes, filter_points, query):
+    """``(B, F, Q)`` truth table: box ⊂ H_{r:q} for a whole block of boxes.
+
+    The block version of :func:`box_halfplane_tensor`, used to test all
+    children of an R-tree node (or all entries of a leaf, as degenerate
+    boxes) in one call.  Evaluates the same expression per element, so each
+    ``[b]`` slice equals ``box_halfplane_tensor(boxes[b], ...)`` bitwise.
+    """
+    if numpy_available():
+        bxs = _np.asarray(boxes, dtype=_np.float64)
+        flt = _np.asarray(filter_points, dtype=_np.float64)
+        qry = _np.asarray(query, dtype=_np.float64)
+        if len(bxs) == 0 or len(flt) == 0:
+            return _np.zeros((len(bxs), len(flt), len(qry)), dtype=bool)
+        rx = flt[:, 0][None, :, None]
+        ry = flt[:, 1][None, :, None]
+        qx = qry[:, 0][None, None, :]
+        qy = qry[:, 1][None, None, :]
+        a = 2.0 * (rx - qx)
+        b = 2.0 * (ry - qy)
+        c = (rx * rx + ry * ry) - (qx * qx + qy * qy)
+        x = _np.where(a >= 0, bxs[:, 0][:, None, None], bxs[:, 2][:, None, None])
+        y = _np.where(b >= 0, bxs[:, 1][:, None, None], bxs[:, 3][:, None, None])
+        return a * x + b * y > c
+    return [box_halfplane_tensor(box, filter_points, query) for box in boxes]
+
+
+def dominators_of_box(box, filter_points, query):
+    """Per-filter-point mask: box ⊂ H_{r:Q} (inside *every* half-plane).
+
+    Returns ``(all_q_mask, tensor)`` where ``all_q_mask[i]`` collapses row
+    ``i`` of the ``(F, Q)`` tensor with AND (the basic filtering-space test of
+    Definition 6) and ``tensor`` is the full table for the Voronoi step.
+    """
+    tensor = box_halfplane_tensor(box, filter_points, query)
+    if numpy_available():
+        return tensor.all(axis=1), tensor
+    return [all(row) for row in tensor], tensor
+
+
+def route_dominates_box(tensor, rows) -> bool:
+    """Voronoi test (Definition 8) from a precomputed half-plane tensor.
+
+    ``rows`` indexes the filter points belonging to one route.  The route
+    dominates the box when, for every query point, at least one of its filter
+    points contains the box in its half-plane.
+    """
+    if numpy_available():
+        sub = tensor[rows]
+        return bool(sub.any(axis=0).all())
+    if not rows:
+        return False
+    columns = len(tensor[rows[0]])
+    for j in range(columns):
+        if not any(tensor[i][j] for i in rows):
+            return False
+    return True
+
+
+def points_in_filtering_space(points, filter_point, query):
+    """Mask: each point strictly closer to ``filter_point`` than to every q.
+
+    The per-point version of the filtering-space test, used to prune whole
+    blocks of transition endpoints at once.  Matches
+    :func:`repro.geometry.halfspace.filtering_space_contains_point`.
+    """
+    fx, fy = float(filter_point[0]), float(filter_point[1])
+    if numpy_available():
+        pts = _np.asarray(points, dtype=_np.float64)
+        qry = _np.asarray(query, dtype=_np.float64)
+        if len(pts) == 0:
+            return _np.zeros(0, dtype=bool)
+        dxf = pts[:, 0] - fx
+        dyf = pts[:, 1] - fy
+        d_filter = dxf * dxf + dyf * dyf
+        dxq = pts[:, 0][:, None] - qry[:, 0][None, :]
+        dyq = pts[:, 1][:, None] - qry[:, 1][None, :]
+        d_query = dxq * dxq + dyq * dyq
+        return (d_filter[:, None] < d_query).all(axis=1)
+    out = []
+    for px, py in points:
+        dxf = px - fx
+        dyf = py - fy
+        d_filter = dxf * dxf + dyf * dyf
+        ok = True
+        for qx, qy in query:
+            dxq = px - qx
+            dyq = py - qy
+            if d_filter >= dxq * dxq + dyq * dyq:
+                ok = False
+                break
+        out.append(ok)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Point–polyline (point-to-route) distances for verification
+# ----------------------------------------------------------------------
+def route_distance_matrix(points, route_points, route_offsets):
+    """``(P, R)`` squared point-to-route distances.
+
+    ``route_points`` is the concatenation of every route's points (grouped by
+    route) and ``route_offsets`` the start index of each route's group —
+    together they describe the flattened polyline soup built once per dataset
+    by the execution context.  Entry ``[i, j]`` is the squared distance from
+    point ``i`` to route ``j`` (the paper's Definition 3, minimum over the
+    route's points).
+
+    Only available on the numpy backend; the Python fallback engine verifies
+    through the RR-tree instead (see ``engine/executor.py``).
+    """
+    assert numpy_available(), "route_distance_matrix requires the numpy backend"
+    pts = _np.asarray(points, dtype=_np.float64)
+    rpts = _np.asarray(route_points, dtype=_np.float64)
+    offsets = _np.asarray(route_offsets, dtype=_np.intp)
+    if len(pts) == 0 or len(offsets) == 0:
+        return _np.zeros((len(pts), len(offsets)))
+    dx = pts[:, 0][:, None] - rpts[:, 0][None, :]
+    dy = pts[:, 1][:, None] - rpts[:, 1][None, :]
+    d2 = dx * dx + dy * dy
+    return _np.minimum.reduceat(d2, offsets, axis=1)
+
+
+def count_closer_routes(
+    points,
+    thresholds_sq,
+    route_points,
+    route_offsets,
+    excluded_columns=None,
+    chunk_size: int = 512,
+):
+    """Distinct routes strictly closer than each point's threshold.
+
+    The vectorized verification primitive: for each candidate point ``i``,
+    count the routes whose squared point-to-route distance is strictly below
+    ``thresholds_sq[i]``.  ``excluded_columns`` masks routes that must not
+    count (e.g. the query route itself).  Work is chunked so the ``(P, N)``
+    distance matrix never exceeds ``chunk_size`` rows at a time.
+    """
+    assert numpy_available(), "count_closer_routes requires the numpy backend"
+    pts = _np.asarray(points, dtype=_np.float64)
+    thr = _np.asarray(thresholds_sq, dtype=_np.float64)
+    counts = _np.zeros(len(pts), dtype=_np.intp)
+    if len(pts) == 0 or len(route_offsets) == 0:
+        return counts
+    for start in range(0, len(pts), chunk_size):
+        stop = min(start + chunk_size, len(pts))
+        block = route_distance_matrix(
+            pts[start:stop], route_points, route_offsets
+        )
+        closer = block < thr[start:stop][:, None]
+        if excluded_columns is not None and len(excluded_columns):
+            closer[:, excluded_columns] = False
+        counts[start:stop] = closer.sum(axis=1)
+    return counts

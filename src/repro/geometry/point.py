@@ -90,6 +90,36 @@ def point_to_points_distance(
     return math.sqrt(best)
 
 
+def point_to_points_distance_sq(
+    point: Sequence[float], points: Iterable[Sequence[float]]
+) -> float:
+    """Squared minimum distance from ``point`` to a collection of points.
+
+    The comparison form of the point-route distance: strictly-closer
+    decisions throughout the library (engine verification, brute-force
+    oracle) compare these squared values, which are exact elementary-float
+    expressions, so every code path makes identical decisions.
+
+    Raises
+    ------
+    ValueError
+        If ``points`` is empty.
+    """
+    best = math.inf
+    px, py = point[0], point[1]
+    for other in points:
+        dx = px - other[0]
+        dy = py - other[1]
+        d = dx * dx + dy * dy
+        if d < best:
+            best = d
+    if best is math.inf:
+        raise ValueError(
+            "point_to_points_distance_sq() requires at least one point"
+        )
+    return best
+
+
 def midpoint(a: Sequence[float], b: Sequence[float]) -> Point:
     """Midpoint of the segment joining ``a`` and ``b``."""
     return Point((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)

@@ -50,6 +50,9 @@ class RouteIndex:
         self._excluded: Set[int] = set(exclude_route_ids or ())
         self.plist = PointList()
         self.tree = self._build_tree()
+        #: Monotonic counter bumped on every dynamic update; the execution
+        #: engine keys its per-dataset caches on it (see ``engine/context.py``).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +83,7 @@ class RouteIndex:
         """Index a route that was appended to the dataset after construction."""
         if route.route_id in self._excluded:
             return
+        self.version += 1
         for point in route.points:
             key = point_key(point)
             existing = self._find_entry(key)
@@ -94,6 +98,7 @@ class RouteIndex:
 
     def remove_route(self, route: Route) -> None:
         """Remove a route's points from the index."""
+        self.version += 1
         for point in route.points:
             key = point_key(point)
             existing = self._find_entry(key)
@@ -119,6 +124,11 @@ class RouteIndex:
     def root(self) -> RTreeNode:
         """Root of the RR-tree."""
         return self.tree.root
+
+    @property
+    def excluded_route_ids(self) -> FrozenSet[int]:
+        """Route ids excluded from the index at construction time."""
+        return frozenset(self._excluded)
 
     def crossover_routes(self, point: Sequence[float]) -> FrozenSet[int]:
         """Crossover route set ``C(r)`` of a route point (Definition 7)."""

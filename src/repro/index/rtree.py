@@ -122,6 +122,28 @@ class RTreeNode:
             for child in self.children:
                 yield from child.entries()  # type: ignore[union-attr]
 
+    def child_box_tuples(self) -> List[Tuple[float, float, float, float]]:
+        """Bounding boxes of the direct children as plain tuples.
+
+        Leaf entries contribute degenerate boxes.  This is the block view the
+        batched execution engine hands to the vectorized geometry kernels so
+        that one call prunes (or orders) every child of a node at once.
+        """
+        boxes: List[Tuple[float, float, float, float]] = []
+        for child in self.children:
+            if isinstance(child, RTreeNode):
+                assert child.bbox is not None
+                boxes.append(child.bbox.as_tuple())
+            else:
+                x, y = child.point
+                boxes.append((x, y, x, y))
+        return boxes
+
+    def leaf_point_tuples(self) -> List[Tuple[float, float]]:
+        """Points of the direct leaf entries (leaf nodes only)."""
+        assert self.is_leaf
+        return [child.point for child in self.children]  # type: ignore[union-attr]
+
     def leaf_count(self) -> int:
         """Number of leaf entries below this node."""
         if self.is_leaf:

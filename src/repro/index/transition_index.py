@@ -41,6 +41,9 @@ class TransitionIndex:
         self.transitions = transitions
         self.max_entries = max_entries
         self.tree = self._build_tree()
+        #: Monotonic counter bumped on every dynamic update; the execution
+        #: engine keys its per-dataset caches on it (see ``engine/context.py``).
+        self.version = 0
 
     def _build_tree(self) -> RTree:
         entries: List[RTreeEntry] = []
@@ -68,6 +71,7 @@ class TransitionIndex:
     # ------------------------------------------------------------------
     def add_transition(self, transition: Transition) -> None:
         """Index a transition appended to the dataset after construction."""
+        self.version += 1
         self.tree.insert(
             RTreeEntry(
                 transition.origin,
@@ -89,6 +93,7 @@ class TransitionIndex:
         Returns the number of entries removed (2 when both endpoints were
         indexed).
         """
+        self.version += 1
         removed = 0
         for point, endpoint in (
             (transition.origin, ORIGIN),

@@ -5,7 +5,12 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.geometry.bbox import BoundingBox
-from repro.geometry.point import Point, euclidean, point_to_points_distance
+from repro.geometry.point import (
+    Point,
+    euclidean,
+    point_to_points_distance,
+    point_to_points_distance_sq,
+)
 
 
 class Route:
@@ -92,6 +97,10 @@ class Route:
     def distance_to_point(self, point: Sequence[float]) -> float:
         """Point-route distance ``dist(t, R)`` (Definition 3)."""
         return point_to_points_distance(point, self.points)
+
+    def squared_distance_to_point(self, point: Sequence[float]) -> float:
+        """Squared point-route distance, the library's comparison form."""
+        return point_to_points_distance_sq(point, self.points)
 
     # ------------------------------------------------------------------
     # Sequence protocol

@@ -18,8 +18,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.filtering import FilterRefineEngine
 from repro.core.rknnt import RkNNTProcessor
+from repro.engine.executor import run_stages
+from repro.engine.plan import QueryPlan, VORONOI
+from repro.geometry.kernels import BACKEND_AUTO
 from repro.planning.graph import BusNetwork
 from repro.planning.shortest_path import all_pairs_shortest_distances
 
@@ -88,21 +90,36 @@ class VertexRkNNTIndex:
     # ------------------------------------------------------------------
     # Algorithm 5
     # ------------------------------------------------------------------
-    def build(self, vertices: Optional[Iterable[int]] = None) -> PrecomputationReport:
+    def build(
+        self,
+        vertices: Optional[Iterable[int]] = None,
+        backend: str = BACKEND_AUTO,
+    ) -> PrecomputationReport:
         """Run the pre-computation (per-vertex RkNNT + all-pairs shortest).
+
+        The per-vertex queries are the bulk-expansion path of the MaxRkNNT
+        pipeline: every vertex is a single-point RkNNT query answered through
+        the processor's shared execution context, so the whole sweep reuses
+        one route matrix, runs on the vectorized geometry kernels (when
+        numpy is available) and memoises its answers — which later divide &
+        conquer queries over the same stop locations hit for free.
 
         Parameters
         ----------
         vertices:
             Restrict the per-vertex RkNNT queries and the shortest-distance
             sources to a subset (all vertices by default).
+        backend:
+            Geometry-kernel backend for the sweep (``"auto"`` by default).
         """
         vertex_list = (
             list(vertices) if vertices is not None else list(self.network.vertices())
         )
         started = time.perf_counter()
         for vertex in vertex_list:
-            self._endpoints_by_vertex[vertex] = self._query_vertex(vertex)
+            self._endpoints_by_vertex[vertex] = self._query_vertex(
+                vertex, backend=backend
+            )
         self.report.rknnt_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -111,15 +128,26 @@ class VertexRkNNTIndex:
         self.report.vertices = len(vertex_list)
         return self.report
 
-    def _query_vertex(self, vertex: int) -> FrozenSet[EndpointTag]:
-        position = tuple(self.network.position(vertex))
-        engine = FilterRefineEngine(
-            self.processor.route_index,
-            self.processor.transition_index,
-            self.k,
+    def _bulk_plan(self, backend: str) -> QueryPlan:
+        """Single-point plan sharing the processor's sub-query cache."""
+        return QueryPlan(
+            method=VORONOI if self.use_voronoi else "filter-refine",
             use_voronoi=self.use_voronoi,
+            decompose=True,
+            backend=backend,
+            share_subquery_cache=True,
         )
-        confirmed = engine.run([position])
+
+    def _query_vertex(
+        self, vertex: int, backend: str = BACKEND_AUTO
+    ) -> FrozenSet[EndpointTag]:
+        position = tuple(self.network.position(vertex))
+        confirmed, _ = run_stages(
+            self.processor.engine_context,
+            [position],
+            self.k,
+            self._bulk_plan(backend),
+        )
         tags: Set[EndpointTag] = set()
         for transition_id, endpoints in confirmed.items():
             for endpoint in endpoints:

@@ -7,6 +7,9 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
 
 EXAMPLE_SCRIPTS = [
     "quickstart.py",
@@ -19,12 +22,17 @@ EXAMPLE_SCRIPTS = [
 
 def run_example(name: str) -> subprocess.CompletedProcess:
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (SRC_DIR, env.get("PYTHONPATH")) if part
+    )
     return subprocess.run(
         [sys.executable, path],
         capture_output=True,
         text=True,
         timeout=600,
         check=False,
+        env=env,
     )
 
 
