@@ -152,14 +152,15 @@ def time_rknnt_methods(
 
 @dataclass
 class BatchThroughput:
-    """Loop-of-single vs. batched execution of one workload.
+    """Loop-of-single vs. batched (vs. sharded) execution of one workload.
 
     ``loop_seconds`` measures one :meth:`~repro.core.rknnt.RkNNTProcessor
     .query` call per query (the scalar path); ``batch_seconds`` measures one
     :meth:`~repro.core.rknnt.RkNNTProcessor.query_batch` call over the same
-    workload (shared execution context + vectorized kernels).  The two
-    result lists are always checked element-wise identical before timings
-    are reported.
+    workload (shared execution context + vectorized kernels); when
+    ``workers > 0``, ``sharded_seconds`` measures the same batch call
+    sharded across that many worker processes.  Every measured result list
+    is checked element-wise identical before timings are reported.
     """
 
     method: str
@@ -169,6 +170,10 @@ class BatchThroughput:
     loop_seconds: float
     batch_seconds: float
     result_size: float
+    #: Worker processes of the sharded measurement (0 = not measured).
+    workers: int = 0
+    #: Wall-clock of the sharded batch (``inf`` when not measured).
+    sharded_seconds: float = math.inf
 
     @property
     def speedup(self) -> float:
@@ -178,6 +183,15 @@ class BatchThroughput:
         return self.loop_seconds / self.batch_seconds
 
     @property
+    def sharded_speedup(self) -> float:
+        """Single-process batch time over sharded time (> 1: sharding wins)."""
+        if not self.workers or math.isinf(self.sharded_seconds):
+            return 0.0
+        if self.sharded_seconds == 0.0:
+            return float("inf")
+        return self.batch_seconds / self.sharded_seconds
+
+    @property
     def loop_qps(self) -> float:
         return self.queries / self.loop_seconds if self.loop_seconds else 0.0
 
@@ -185,8 +199,16 @@ class BatchThroughput:
     def batch_qps(self) -> float:
         return self.queries / self.batch_seconds if self.batch_seconds else 0.0
 
+    @property
+    def sharded_qps(self) -> float:
+        if not self.workers or not self.sharded_seconds:
+            return 0.0
+        if math.isinf(self.sharded_seconds):
+            return 0.0
+        return self.queries / self.sharded_seconds
+
     def as_row(self) -> Dict[str, float | str]:
-        return {
+        row: Dict[str, float | str] = {
             "method": METHOD_LABELS.get(self.method, self.method),
             "backend": self.backend,
             "queries": self.queries,
@@ -197,6 +219,12 @@ class BatchThroughput:
             "speedup": self.speedup,
             "avg_results": self.result_size,
         }
+        if self.workers:
+            row["workers"] = self.workers
+            row["sharded_s"] = self.sharded_seconds
+            row["sharded_qps"] = self.sharded_qps
+            row["sharded_speedup"] = self.sharded_speedup
+        return row
 
 
 def time_batch_throughput(
@@ -206,12 +234,15 @@ def time_batch_throughput(
     method: str = VORONOI,
     backend: str = "auto",
     repeats: int = 1,
+    workers: int = 0,
 ) -> BatchThroughput:
     """Time a workload as a loop of single queries and as one batch.
 
     Raises ``AssertionError`` if the batch answers differ from the
     per-query answers anywhere — throughput numbers for wrong answers are
-    meaningless, so the check is unconditional.
+    meaningless, so the check is unconditional.  With ``workers > 0`` the
+    sharded batch path is additionally timed (and checked) over the same
+    workload.
 
     ``repeats`` re-times each side that many times and keeps the fastest
     observation (the standard way to damp GC pauses and scheduler noise on
@@ -219,7 +250,8 @@ def time_batch_throughput(
     every batch repeat so each one measures the same cold-cache work —
     otherwise divide & conquer repeats would be served from the memoised
     sub-queries and the "speedup" would measure the cache, not the batch
-    execution.
+    execution.  The sharded path pays its pool start-up inside the timed
+    region on every repeat, so its speedup is end-to-end honest.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -243,6 +275,22 @@ def time_batch_throughput(
             f"batch result diverges from single query at index {index}"
         )
 
+    sharded_seconds = math.inf
+    if workers:
+        for _ in range(repeats):
+            processor.engine_context.clear_caches()
+            started = time.perf_counter()
+            sharded = processor.query_batch(
+                queries, k, method=method, backend=backend, workers=workers
+            )
+            sharded_seconds = min(
+                sharded_seconds, time.perf_counter() - started
+            )
+        for index, (single, shard) in enumerate(zip(singles, sharded)):
+            assert single.confirmed_endpoints == shard.confirmed_endpoints, (
+                f"sharded result diverges from single query at index {index}"
+            )
+
     from repro.geometry.kernels import resolve_backend
 
     return BatchThroughput(
@@ -257,6 +305,8 @@ def time_batch_throughput(
             if batched
             else 0.0
         ),
+        workers=workers,
+        sharded_seconds=sharded_seconds,
     )
 
 

@@ -100,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--semantics", choices=("exists", "forall"), default="exists"
     )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard a --batch-file workload across N worker processes "
+            "(0 = in-process; results are identical either way)"
+        ),
+    )
 
     capacity = subparsers.add_parser(
         "capacity", help="estimate the demand of every route"
@@ -123,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--objective", choices=(MAXIMIZE, MINIMIZE), default=MAXIMIZE
+    )
+    plan.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard the per-vertex RkNNT pre-computation across N worker "
+            "processes (0 = in-process)"
+        ),
     )
     return parser
 
@@ -204,6 +222,10 @@ def command_query(args: argparse.Namespace) -> int:
         raise SystemExit("error: provide --point (repeatable) or --batch-file")
     if args.batch_file is not None and args.points:
         raise SystemExit("error: --point and --batch-file are mutually exclusive")
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be non-negative")
+    if args.workers and args.batch_file is None:
+        raise SystemExit("error: --workers requires --batch-file")
     routes, transitions = _load_datasets(args.data_dir)
     processor = RkNNTProcessor(routes, transitions)
     if args.batch_file is not None:
@@ -246,7 +268,11 @@ def _run_query_batch(args, processor, transitions) -> int:
     queries = _load_batch_file(args.batch_file)
     started = time.perf_counter()
     results = processor.query_batch(
-        queries, args.k, method=args.method, semantics=args.semantics
+        queries,
+        args.k,
+        method=args.method,
+        semantics=args.semantics,
+        workers=args.workers,
     )
     elapsed = time.perf_counter() - started
 
@@ -263,7 +289,8 @@ def _run_query_batch(args, processor, transitions) -> int:
         )
     print(
         f"RkNNT batch of {len(queries)} queries (k={args.k}, "
-        f"method={args.method}, semantics={args.semantics})"
+        f"method={args.method}, semantics={args.semantics}, "
+        f"workers={args.workers})"
     )
     print(format_table(rows, precision=2))
     throughput = len(queries) / elapsed if elapsed else 0.0
@@ -311,8 +338,10 @@ def command_plan(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"error: start/end must be vertex ids in [0, {network.vertex_count})"
         )
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be non-negative")
     vertex_index = VertexRkNNTIndex(network, processor, k=args.k)
-    vertex_index.build()
+    vertex_index.build(workers=args.workers)
     shortest = vertex_index.shortest_distance(args.start, args.end)
     if shortest == float("inf"):
         raise SystemExit("error: destination is not reachable from the start vertex")

@@ -18,6 +18,8 @@ import itertools
 import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.geometry import kernels
+from repro.geometry.kernels import BACKEND_AUTO, BACKEND_NUMPY, resolve_backend
 from repro.geometry.point import euclidean, squared_euclidean
 from repro.index.route_index import RouteIndex
 from repro.index.rtree import RTreeEntry, RTreeNode
@@ -99,8 +101,14 @@ def count_routes_within(
     node whose *maximum* distance to ``point`` is below ``threshold`` has all
     of its routes closer, so they are added without opening the node.
 
-    :func:`count_routes_within_sq` mirrors this traversal with squared
-    comparisons — keep structural changes in sync between the two.
+    Like :func:`count_routes_within_sq` the traversal block-expands: when a
+    node is opened, all of its children are lower-bounded in one pass (here
+    through the scalar predicates — this non-squared variant compares
+    ``math.hypot`` distances, which the array kernels deliberately avoid).
+    The MaxDist bound of the NList shortcut stays a pop-time computation:
+    children pushed but never popped (tight thresholds, ``stop_at`` exits)
+    must not pay for it.  Keep structural changes in sync between the two
+    variants.
 
     Parameters
     ----------
@@ -155,6 +163,7 @@ def count_routes_within_sq(
     threshold_sq: float,
     stop_at: Optional[int] = None,
     exclude_route_ids: Optional[Set[int]] = None,
+    backend: str = BACKEND_AUTO,
 ) -> int:
     """Squared-threshold variant of :func:`count_routes_within`.
 
@@ -164,38 +173,82 @@ def count_routes_within_sq(
     vectorized half, and the two make identical decisions because they
     evaluate the same elementary-float expressions.
 
-    The traversal deliberately mirrors :func:`count_routes_within` rather
-    than sharing a callable-parameterised core: the hot loop stays free of
-    indirection and each variant's float expressions stay literal.  Keep
-    structural changes (early exit, NList handling) in sync between the two.
+    The traversal is *block-expanding* on the numpy backend: opening a node
+    bounds all of its children (squared MinDist *and* MaxDist) in one
+    :func:`repro.geometry.kernels.boxes_min_max_dist_sq_to_point` call, the
+    MaxDist bound riding along on the heap, and a leaf's entries are scored
+    in one :func:`repro.geometry.kernels.points_dist_sq_to_point` call.  On
+    the Python backend the loop stays on the scalar
+    :class:`~repro.geometry.bbox.BoundingBox` methods — ``backend="python"``
+    never touches numpy machinery, and MaxDist stays a pop-time computation
+    so children pushed but never popped don't pay for it.  Both backends
+    evaluate the same elementary-float expressions, so the traversal visits
+    exactly the nodes the node-at-a-time loop visited.  Early exits and the
+    NList shortcut still apply at pop time.  Keep structural changes in
+    sync with :func:`count_routes_within`.
     """
     excluded = exclude_route_ids or frozenset()
     found: Set[int] = set()
     tree = route_index.tree
     if len(tree) == 0 or tree.root.bbox is None:
         return 0
+    use_kernels = resolve_backend(backend) == BACKEND_NUMPY
 
     counter = itertools.count()
-    heap: List[Tuple[float, int, RTreeNode]] = [
-        (tree.root.bbox.min_dist_sq(point), next(counter), tree.root)
+    root = tree.root
+    # Heap items carry the squared MaxDist when it was batch-computed at
+    # push time (numpy backend); None means "compute at pop" (scalar).
+    heap: List[Tuple[float, int, RTreeNode, Optional[float]]] = [
+        (root.bbox.min_dist_sq(point), next(counter), root, None)
     ]
     while heap:
-        min_dist_sq, _, node = heapq.heappop(heap)
+        min_dist_sq, _, node, max_dist_sq = heapq.heappop(heap)
         if min_dist_sq >= threshold_sq:
             # Every remaining node is at least this far: nothing closer left.
             break
         if stop_at is not None and len(found) >= stop_at:
             break
-        assert node.bbox is not None
-        if node.bbox.max_dist_sq(point) < threshold_sq:
+        if max_dist_sq is None:
+            assert node.bbox is not None
+            max_dist_sq = node.bbox.max_dist_sq(point)
+        if max_dist_sq < threshold_sq:
             # NList shortcut: every route below this node is strictly closer.
             found.update(node.payload_union - excluded)
             continue
         if node.is_leaf:
-            for entry in node.children:
-                assert isinstance(entry, RTreeEntry)
-                if squared_euclidean(entry.point, point) < threshold_sq:
-                    found.update(set(entry.payload) - excluded)
+            if use_kernels:
+                distances = kernels.points_dist_sq_to_point(
+                    node.leaf_point_tuples(), point
+                )
+                for entry, distance_sq in zip(node.children, distances):
+                    assert isinstance(entry, RTreeEntry)
+                    if distance_sq < threshold_sq:
+                        found.update(set(entry.payload) - excluded)
+            else:
+                for entry in node.children:
+                    assert isinstance(entry, RTreeEntry)
+                    if squared_euclidean(entry.point, point) < threshold_sq:
+                        found.update(set(entry.payload) - excluded)
+        elif use_kernels:
+            children = [
+                child
+                for child in node.children
+                if isinstance(child, RTreeNode) and child.bbox is not None
+            ]
+            mins, maxs = kernels.boxes_min_max_dist_sq_to_point(
+                [child.bbox.as_tuple() for child in children], point
+            )
+            for child, child_min_sq, child_max_sq in zip(children, mins, maxs):
+                if child_min_sq < threshold_sq:
+                    heapq.heappush(
+                        heap,
+                        (
+                            float(child_min_sq),
+                            next(counter),
+                            child,
+                            float(child_max_sq),
+                        ),
+                    )
         else:
             for child in node.children:
                 assert isinstance(child, RTreeNode)
@@ -203,7 +256,9 @@ def count_routes_within_sq(
                     continue
                 child_min_sq = child.bbox.min_dist_sq(point)
                 if child_min_sq < threshold_sq:
-                    heapq.heappush(heap, (child_min_sq, next(counter), child))
+                    heapq.heappush(
+                        heap, (child_min_sq, next(counter), child, None)
+                    )
     return len(found)
 
 
@@ -213,6 +268,7 @@ def point_takes_query_as_knn(
     query_points: Sequence[Sequence[float]],
     k: int,
     exclude_route_ids: Optional[Set[int]] = None,
+    backend: str = BACKEND_AUTO,
 ) -> bool:
     """True when the query route is among the k nearest routes of ``point``.
 
@@ -228,5 +284,6 @@ def point_takes_query_as_knn(
         threshold_sq,
         stop_at=k,
         exclude_route_ids=exclude_route_ids,
+        backend=backend,
     )
     return closer < k

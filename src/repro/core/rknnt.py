@@ -193,18 +193,23 @@ class RkNNTProcessor:
         semantics: Union[Semantics, str] = EXISTS,
         exclude_route_ids: Optional[Iterable[int]] = None,
         backend: str = BACKEND_AUTO,
+        workers: int = 0,
     ) -> List[RkNNTResult]:
         """Answer a whole workload of queries, sharing work across them.
 
         Results are element-wise identical to calling :meth:`query` once per
         query (the differential tests assert this for every method and both
-        semantics); the speedup comes from
+        semantics, serial and sharded); the speedup comes from
 
         * the vectorized geometry kernels (``backend="auto"`` selects numpy
           when available) testing whole R-tree child/entry blocks per call,
-        * the flattened route matrix shared by every verification stage, and
+        * the flattened route matrix shared by every verification stage,
         * memoised single-point sub-queries, which divide & conquer
-          workloads with overlapping query routes hit constantly.
+          workloads with overlapping query routes hit constantly, and
+        * with ``workers >= 1``, sharding across a process pool (the
+          :class:`~repro.engine.parallel.ShardedExecutor`), which sidesteps
+          the GIL entirely — one private execution context per worker,
+          results re-ordered back into workload order.
 
         Parameters
         ----------
@@ -214,26 +219,40 @@ class RkNNTProcessor:
             exactly as :meth:`query` would.
         exclude_route_ids:
             Routes ignored by *every* query of the batch.
+        workers:
+            ``0`` (default) answers the batch in-process.  ``workers >= 1``
+            shards it across that many worker processes (``1`` is useful to
+            exercise the worker path deterministically; real speedups need
+            ``>= 2`` and spare CPUs).  Worker sub-query caches are private,
+            so the parent context's caches are neither used nor warmed.
         """
         semantics = Semantics.coerce(semantics)
         plan = QueryPlan.for_method(
             method, backend=backend, share_subquery_cache=True
         ).resolved()
-        results: List[RkNNTResult] = []
-        for query in queries:
-            query_points = as_query_points(query)
-            excluded = self._resolve_exclusions(query, exclude_route_ids)
-            results.append(
-                execute(
-                    self.engine_context,
-                    query_points,
-                    k,
-                    plan,
-                    semantics,
-                    exclude_route_ids=excluded,
-                )
+        jobs = [
+            (
+                as_query_points(query),
+                frozenset(self._resolve_exclusions(query, exclude_route_ids)),
             )
-        return results
+            for query in queries
+        ]
+        if workers:
+            from repro.engine.parallel import ShardedExecutor
+
+            with ShardedExecutor(self.engine_context, workers=workers) as sharded:
+                return sharded.run(jobs, k, plan, semantics)
+        return [
+            execute(
+                self.engine_context,
+                query_points,
+                k,
+                plan,
+                semantics,
+                exclude_route_ids=excluded,
+            )
+            for query_points, excluded in jobs
+        ]
 
     def __repr__(self) -> str:
         return (

@@ -19,7 +19,10 @@ This package factors that pipeline out of the per-method modules:
 * :mod:`repro.engine.filterset` — the filtering set ``S_filter`` with packed
   array views for the vectorized kernels;
 * :mod:`repro.engine.executor` — :class:`QueryExecutor` (the staged
-  pipeline) and the :func:`execute` entry point.
+  pipeline) and the :func:`execute` entry point;
+* :mod:`repro.engine.parallel` — :class:`ShardedExecutor`, which shards
+  batch workloads across a process pool with one private context per
+  worker and deterministic result re-ordering.
 
 The geometry kernels themselves live in :mod:`repro.geometry.kernels`; the
 engine is backend-agnostic and produces element-wise identical answers on
@@ -29,10 +32,13 @@ the numpy and pure-Python backends.
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryExecutor, execute
 from repro.engine.filterset import FilterSet
+from repro.engine.parallel import ShardedExecutor
 from repro.engine.plan import (
     DIVIDE_CONQUER,
     FILTER_REFINE,
     METHODS,
+    TRAVERSAL_BLOCK,
+    TRAVERSAL_NODE,
     QueryPlan,
     VORONOI,
 )
@@ -45,6 +51,9 @@ __all__ = [
     "METHODS",
     "QueryExecutor",
     "QueryPlan",
+    "ShardedExecutor",
+    "TRAVERSAL_BLOCK",
+    "TRAVERSAL_NODE",
     "VORONOI",
     "execute",
 ]

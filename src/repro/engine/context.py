@@ -5,10 +5,13 @@ Answering one RkNNT query needs nothing beyond the two indexes; answering a
 :class:`ExecutionContext`:
 
 * the **route matrix** — every (non-excluded) route's points flattened into
-  one coordinate array with per-route offsets, which is what the vectorized
+  coordinate arrays with per-route offsets, which is what the vectorized
   verification kernel (:func:`repro.geometry.kernels.count_closer_routes`)
   reduces over.  Building it is O(total route points); sharing it across a
-  batch amortises that to nothing.
+  batch amortises that to nothing.  The matrix is *chunked by route blocks*
+  (``RKNNT_MATRIX_BLOCK_ROWS`` bounds the point rows per block) so that the
+  per-candidate distance matrix materialised during verification never
+  exceeds ``chunk × block`` elements even at the paper's NYC scale.
 * the **single-point answer cache** — confirmed endpoint maps of single-point
   sub-queries, keyed by ``(point, k, excluded, voronoi)``.  Divide & conquer
   decomposes every query into per-point sub-queries (Lemma 3) and real
@@ -19,11 +22,17 @@ Answering one RkNNT query needs nothing beyond the two indexes; answering a
 Both caches are invalidated automatically through the indexes' ``version``
 counters, so dynamic route/transition updates keep the context correct
 without manual cache management.
+
+Contexts are also what the parallel execution layer ships to its worker
+processes (see :mod:`repro.engine.parallel`): pickling a context serialises
+the datasets and indexes but *never* the derived caches — ``__getstate__``
+strips them, and each worker lazily rebuilds its own.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.geometry import kernels
 from repro.index.route_index import RouteIndex
@@ -41,21 +50,46 @@ ConfirmedMap = Dict[int, FrozenSet[str]]
 #: distinct query points are far below the cap).
 SUBQUERY_CACHE_LIMIT = 100_000
 
+#: Environment knob bounding the number of flattened point rows per route
+#: block of the verification matrix.  Smaller blocks cap the peak size of
+#: the per-candidate distance matrix; the default keeps one block ~1.5 MB of
+#: float64 coordinates, far below any practical working set, while NYC-scale
+#: datasets split into many blocks instead of one giant array.
+MATRIX_BLOCK_ROWS_ENV = "RKNNT_MATRIX_BLOCK_ROWS"
+DEFAULT_MATRIX_BLOCK_ROWS = 100_000
 
-class RouteMatrix:
-    """Flattened per-route point arrays for the vectorized verifier.
+
+def matrix_block_rows() -> int:
+    """The configured route-block row bound (``RKNNT_MATRIX_BLOCK_ROWS``).
+
+    Invalid or non-positive values fall back to the default — a mistyped
+    tuning knob must never change answers or crash a query.
+    """
+    raw = os.environ.get(MATRIX_BLOCK_ROWS_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_MATRIX_BLOCK_ROWS
+        if value > 0:
+            return value
+    return DEFAULT_MATRIX_BLOCK_ROWS
+
+
+class RouteMatrixBlock:
+    """One route block of the flattened verification matrix.
 
     Attributes
     ----------
     points:
-        All route points, grouped by route, packed via
+        The block's route points, grouped by route, packed via
         :func:`repro.geometry.kernels.pack_points`.
     offsets:
         Start index of each route's group inside ``points``.
     column_route_ids:
         Route id of each column (group), in order.
     column_of_route:
-        Inverse mapping: route id -> column index.
+        Inverse mapping: route id -> column index within this block.
     """
 
     __slots__ = ("points", "offsets", "column_route_ids", "column_of_route")
@@ -73,12 +107,41 @@ class RouteMatrix:
         return len(self.column_route_ids)
 
     def excluded_columns(self, route_ids) -> List[int]:
-        """Column indices of the given route ids (ids not indexed are skipped)."""
+        """Column indices of the given route ids (ids not in this block are
+        skipped — every route lives in exactly one block)."""
         return sorted(
             self.column_of_route[route_id]
             for route_id in route_ids
             if route_id in self.column_of_route
         )
+
+
+class RouteMatrix:
+    """The flattened verification matrix, chunked by route blocks.
+
+    Each block covers a contiguous run of routes whose flattened points stay
+    within the ``RKNNT_MATRIX_BLOCK_ROWS`` bound (a single route longer than
+    the bound forms its own block — routes are never split, because the
+    verification kernel reduces per route).  Every route appears in exactly
+    one block, so per-block closer-route counts sum to the global count.
+    """
+
+    __slots__ = ("blocks",)
+
+    def __init__(self, blocks: Sequence[RouteMatrixBlock]):
+        self.blocks = list(blocks)
+
+    @property
+    def route_count(self) -> int:
+        return sum(block.route_count for block in self.blocks)
+
+    @property
+    def point_rows(self) -> int:
+        """Total flattened point rows across every block."""
+        return sum(len(block.points) for block in self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
 
 
 class ExecutionContext:
@@ -116,16 +179,35 @@ class ExecutionContext:
 
     def _build_route_matrix(self) -> RouteMatrix:
         excluded = self.route_index.excluded_route_ids
+        block_rows = matrix_block_rows()
+        blocks: List[RouteMatrixBlock] = []
         flat: List[Tuple[float, float]] = []
         offsets: List[int] = []
         column_ids: List[int] = []
+
+        def cut_block() -> None:
+            if column_ids:
+                blocks.append(
+                    RouteMatrixBlock(
+                        kernels.pack_points(flat), list(offsets), list(column_ids)
+                    )
+                )
+                flat.clear()
+                offsets.clear()
+                column_ids.clear()
+
         for route in self.route_index.routes:
             if route.route_id in excluded:
                 continue
+            # Cut before a route that would overflow the block (never after
+            # appending: a route must stay whole within one block).
+            if flat and len(flat) + len(route.points) > block_rows:
+                cut_block()
             offsets.append(len(flat))
             column_ids.append(route.route_id)
             flat.extend((point.x, point.y) for point in route.points)
-        return RouteMatrix(kernels.pack_points(flat), offsets, column_ids)
+        cut_block()
+        return RouteMatrix(blocks)
 
     # ------------------------------------------------------------------
     # Single-point sub-query cache (divide & conquer, planning bulk build)
@@ -155,6 +237,27 @@ class ExecutionContext:
         if len(self._subqueries) >= SUBQUERY_CACHE_LIMIT:
             self._subqueries.clear()
         self._subqueries[key] = confirmed
+
+    # ------------------------------------------------------------------
+    # Pickling (parallel execution layer)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle only the primary state, never the derived caches.
+
+        Shipping a context to a shard worker (see
+        :mod:`repro.engine.parallel`) must serialise the datasets and
+        indexes exactly once — the lazily-built route matrix and the
+        memoised sub-query answers are derived, potentially large, and
+        cheap to rebuild per worker, so they are stripped here.
+        """
+        state = self.__dict__.copy()
+        state["_route_matrix"] = None
+        state["_route_matrix_version"] = -1
+        state["_subqueries"] = {}
+        state["_subquery_versions"] = (-1, -1)
+        state["subquery_hits"] = 0
+        state["subquery_misses"] = 0
+        return state
 
     def clear_caches(self) -> None:
         """Drop every derived cache (answers stay correct without this —

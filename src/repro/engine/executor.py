@@ -46,7 +46,12 @@ from repro.core.semantics import Semantics
 from repro.core.stats import QueryStatistics
 from repro.engine.context import ExecutionContext
 from repro.engine.filterset import FilterSet
-from repro.engine.plan import QueryPlan
+from repro.engine.plan import (
+    TRAVERSAL_AUTO,
+    TRAVERSAL_NODE,
+    QueryPlan,
+    resolve_traversal,
+)
 from repro.geometry import kernels
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.halfspace import filtering_space_contains_bbox
@@ -76,6 +81,11 @@ class QueryExecutor:
         an existing route still present in the index).
     backend:
         Geometry-kernel backend (``"auto"`` / ``"numpy"`` / ``"python"``).
+    filter_traversal:
+        RR-tree filter-phase traversal style: ``"block"`` (default via
+        ``"auto"``) expands all children of the best node in one kernel
+        call; ``"node"`` is the original node-at-a-time heap loop.  The two
+        make identical decisions (same answers, same traversal counters).
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class QueryExecutor:
         use_voronoi: bool = False,
         exclude_route_ids: Optional[Iterable[int]] = None,
         backend: str = "python",
+        filter_traversal: str = TRAVERSAL_AUTO,
     ):
         if k <= 0:
             raise ValueError("k must be positive")
@@ -93,6 +104,7 @@ class QueryExecutor:
         self.use_voronoi = use_voronoi
         self.excluded: FrozenSet[int] = frozenset(exclude_route_ids or ())
         self.backend = resolve_backend(backend)
+        self.filter_traversal = resolve_traversal(filter_traversal)
         self.stats = QueryStatistics()
         self.filter_set = FilterSet()
         self.refine_nodes: List[RTreeNode] = []
@@ -186,7 +198,30 @@ class QueryExecutor:
     # Algorithm 2: FilterRoute
     # ------------------------------------------------------------------
     def filter_routes(self, query_points: QueryPoints) -> None:
-        """Traverse the RR-tree, building the filter set and the refine set."""
+        """Traverse the RR-tree, building the filter set and the refine set.
+
+        Two traversal styles are implemented.  Both are best-first heaps and
+        make *identical* decisions (same filter set, same pruned nodes, same
+        traversal counters — ``tests/test_engine_blocks.py`` asserts this):
+
+        * ``"node"`` — the original loop: pop an item, filter-test it, push
+          all children.  One single-box predicate call per popped node.
+        * ``"block"`` — block expansion: when the best node is expanded, all
+          of its children are scored *and* filter-tested in one kernel call;
+          only the survivors are pushed.  A pushed survivor is re-tested at
+          its own pop only when the filter set grew in between (tracked via
+          :attr:`FilterSet.generation`) — the predicate is monotone in the
+          filter set, so an unchanged set cannot flip the earlier verdict,
+          and a grown set re-tests exactly when the node-at-a-time loop
+          would have tested with more information.
+        """
+        if self.filter_traversal == TRAVERSAL_NODE:
+            self._filter_routes_node(query_points)
+        else:
+            self._filter_routes_block(query_points)
+
+    def _filter_routes_node(self, query_points: QueryPoints) -> None:
+        """Node-at-a-time traversal (the original engine loop)."""
         tree = self.context.route_index.tree
         if len(tree) == 0 or tree.root.bbox is None:
             return
@@ -222,6 +257,73 @@ class QueryExecutor:
                     continue
                 self.filter_set.add(item.point, crossover)
                 self.stats.filter_points += 1
+
+    def _filter_routes_block(self, query_points: QueryPoints) -> None:
+        """Block-expansion traversal: whole child blocks per kernel call."""
+        tree = self.context.route_index.tree
+        if len(tree) == 0 or tree.root.bbox is None:
+            return
+        normalised = [(float(p[0]), float(p[1])) for p in query_points]
+        query = self._pack_query(normalised)
+        counter = itertools.count()
+        # Heap items carry the filter-set generation their push-time filter
+        # test ran against (-1 = never tested: the root, and leaf entries).
+        heap: List[Tuple[float, int, object, int]] = [
+            (
+                tree.root.bbox.min_dist_sq_to_query(normalised),
+                next(counter),
+                tree.root,
+                -1,
+            )
+        ]
+        while heap:
+            _, _, item, tested_generation = heapq.heappop(heap)
+            if isinstance(item, RTreeNode):
+                self.stats.route_nodes_visited += 1
+                if tested_generation != self.filter_set.generation:
+                    assert item.bbox is not None
+                    if self._filtered_boxes(
+                        [item.bbox.as_tuple()], query, normalised
+                    )[0]:
+                        self.refine_nodes.append(item)
+                        self.stats.nodes_pruned += 1
+                        continue
+                self._expand_route_node(item, query, normalised, counter, heap)
+            else:
+                assert isinstance(item, RTreeEntry)
+                crossover = frozenset(item.payload) - self.excluded
+                if not crossover:
+                    continue
+                self.filter_set.add(item.point, crossover)
+                self.stats.filter_points += 1
+
+    def _expand_route_node(
+        self, node: RTreeNode, query, normalised, counter, heap
+    ) -> None:
+        """Score, filter-test and push all children of ``node`` as one block."""
+        distances = self._child_distances(node, query, normalised)
+        if node.is_leaf:
+            # Leaf entries are never filter-tested (they *become* filter
+            # points when popped); only their ordering keys are needed.
+            for child, distance in zip(node.children, distances):
+                heapq.heappush(heap, (float(distance), next(counter), child, -1))
+            return
+        boxes = [child.bbox.as_tuple() for child in node.children]
+        mask = self._filtered_boxes(boxes, query, normalised)
+        generation = self.filter_set.generation
+        for child, distance, filtered in zip(node.children, distances, mask):
+            assert isinstance(child, RTreeNode)
+            if filtered:
+                # Pruned at expansion time: account for it exactly as its
+                # own node-at-a-time pop would have (visited + pruned), and
+                # keep it for the verification phase.
+                self.stats.route_nodes_visited += 1
+                self.refine_nodes.append(child)
+                self.stats.nodes_pruned += 1
+                continue
+            heapq.heappush(
+                heap, (float(distance), next(counter), child, generation)
+            )
 
     # ------------------------------------------------------------------
     # Algorithm 4: PruneTransition
@@ -337,13 +439,23 @@ class QueryExecutor:
                     [(float(p[0]), float(p[1])) for p in query_points]
                 ),
             )
-            counts = kernels.count_closer_routes(
-                points,
-                thresholds,
-                matrix.points,
-                matrix.offsets,
-                excluded_columns=matrix.excluded_columns(self.excluded),
-            )
+            # The route matrix is chunked by route blocks (each route lives
+            # in exactly one block), so per-block closer-route counts sum to
+            # the global distinct-route count.
+            counts = None
+            for block in matrix.blocks:
+                block_counts = kernels.count_closer_routes(
+                    points,
+                    thresholds,
+                    block.points,
+                    block.offsets,
+                    excluded_columns=block.excluded_columns(self.excluded),
+                )
+                counts = (
+                    block_counts if counts is None else counts + block_counts
+                )
+            if counts is None:
+                counts = [0] * len(candidates)
             for (point, tag), closer in zip(candidates, counts):
                 if closer < self.k:
                     confirmed.setdefault(tag.transition_id, set()).add(
@@ -359,6 +471,7 @@ class QueryExecutor:
                 threshold_sq,
                 stop_at=self.k,
                 exclude_route_ids=set(self.excluded),
+                backend=self.backend,
             )
             if closer < self.k:
                 confirmed.setdefault(tag.transition_id, set()).add(tag.endpoint)
@@ -412,6 +525,7 @@ def run_stages(
             use_voronoi=plan.use_voronoi,
             exclude_route_ids=excluded,
             backend=plan.backend,
+            filter_traversal=plan.filter_traversal,
         )
         return executor.run(query_points), executor.stats
     return _run_decomposed(context, query_points, k, plan, excluded)
@@ -449,6 +563,7 @@ def _run_decomposed(
                 use_voronoi=plan.use_voronoi,
                 exclude_route_ids=excluded,
                 backend=plan.backend,
+                filter_traversal=plan.filter_traversal,
             )
             sub_confirmed = executor.run([point])
             aggregate.merge(executor.stats)

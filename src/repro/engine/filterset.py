@@ -65,6 +65,12 @@ class FilterSet:
         self._seen: Set[Tuple[float, float]] = set()
         self._sorted = True
         self._packed: Optional[PackedFilterSet] = None
+        #: Monotonic counter bumped whenever a point is actually added.  The
+        #: block-expansion filter traversal uses it to skip re-testing a node
+        #: whose push-time test already ran against the current set — the
+        #: ``is_filtered`` predicate is monotone in the set, so an unchanged
+        #: generation cannot flip an earlier "not filtered" verdict.
+        self.generation = 0
 
     def add(self, point: Sequence[float], crossover_routes: FrozenSet[int]) -> None:
         """Add a filter point with its crossover route set ``C(r)``."""
@@ -75,6 +81,7 @@ class FilterSet:
         self._points.append((key, crossover_routes))
         self._sorted = False
         self._packed = None
+        self.generation += 1
         for route_id in crossover_routes:
             self._routes.setdefault(route_id, []).append(key)
 

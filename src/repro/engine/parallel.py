@@ -1,0 +1,266 @@
+"""Parallel sharded execution of RkNNT batch workloads.
+
+The single-process batch path (:meth:`repro.core.rknnt.RkNNTProcessor
+.query_batch`) answers queries one after another against a shared
+:class:`~repro.engine.context.ExecutionContext`.  Queries are independent,
+so a workload shards trivially — what does *not* shard trivially in Python
+is the state: the indexes and caches live in one process, and the GIL
+serialises any thread-based attempt.  :class:`ShardedExecutor` therefore
+distributes shards across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* the execution context is pickled **once** (with its derived caches
+  stripped — see :meth:`~repro.engine.context.ExecutionContext.__getstate__`)
+  and shipped to each worker through the pool's *initializer*, so per-query
+  messages carry only the query itself, never the dataset;
+* each worker owns a private context whose route matrix and sub-query cache
+  are rebuilt lazily on first use and then reused for every query the
+  worker answers;
+* shards are round-trip tagged with their position, so results always come
+  back in workload order regardless of completion order — ``query_batch``
+  output is deterministic and element-wise identical to the serial path
+  (``tests/test_parallel.py`` asserts this against the brute-force oracle).
+
+Worker processes are started with the ``fork`` method where available (the
+context transfer is then practically free for the OS) and ``spawn``
+otherwise; both paths still ship the pickled context explicitly so the
+semantics never depend on the start method.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import multiprocessing
+import os
+import pickle
+import sys
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.core.result import RkNNTResult
+from repro.core.semantics import EXISTS, Semantics
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import execute
+from repro.engine.plan import QueryPlan
+
+#: One job of a sharded workload: normalised query points plus the route ids
+#: excluded for that query (per-query self-exclusion happens in the parent,
+#: exactly as the serial path does it).
+ShardJob = Tuple[Sequence[Tuple[float, float]], FrozenSet[int]]
+
+#: A shard shipped to a worker: position of its first job in the workload,
+#: the jobs themselves, and the query parameters shared by the whole batch.
+Shard = Tuple[int, List[ShardJob], int, QueryPlan, Semantics]
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+#: The worker's private execution context, installed by the pool
+#: initializer.  Module-level because ProcessPoolExecutor tasks can only
+#: reach state through module globals.
+_WORKER_CONTEXT: Optional[ExecutionContext] = None
+
+
+def _initialize_worker(context_payload: bytes) -> None:
+    """Pool initializer: unpickle the shared context exactly once per worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = pickle.loads(context_payload)
+
+
+def _run_shard(shard: Shard) -> Tuple[int, List[RkNNTResult]]:
+    """Answer one shard of the workload against the worker's context."""
+    base_index, jobs, k, plan, semantics = shard
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - initializer contract violation
+        raise RuntimeError("shard worker used before initialization")
+    results = [
+        execute(context, query_points, k, plan, semantics, exclude_route_ids=excluded)
+        for query_points, excluded in jobs
+    ]
+    return base_index, results
+
+
+# ----------------------------------------------------------------------
+# Parent-process side
+# ----------------------------------------------------------------------
+def resolve_worker_count(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` knob into a concrete worker count.
+
+    ``None`` means "pick for me": one worker per available CPU (respecting
+    the process's affinity mask where exposed).  ``0`` is rejected: on
+    every other surface of the library (``query_batch``, the CLI,
+    ``VertexRkNNTIndex.build``) zero means "in-process, no pool", and a
+    pool executor cannot honour that — treating it as "all CPUs" here
+    would silently invert the caller's intent.  Negative values are
+    rejected outright.
+    """
+    if workers is None:
+        return available_cpu_count()
+    if workers <= 0:
+        raise ValueError(
+            f"workers must be positive for a sharded executor (got {workers}); "
+            "use the serial path (workers=0 at the processor/CLI level) or "
+            "None for one worker per CPU"
+        )
+    return int(workers)
+
+
+def available_cpu_count() -> int:
+    """CPUs this process may actually use (affinity-aware where possible)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return max(1, os.cpu_count() or 1)
+
+
+def _preferred_start_method() -> str:
+    """Default start method: ``fork`` on Linux, the platform default elsewhere.
+
+    Fork makes the context transfer practically free, but it is only safe
+    on Linux — macOS lists it as available yet aborts forked children that
+    touch framework state (which is why CPython switched the macOS default
+    to spawn).
+    """
+    if sys.platform.startswith("linux"):
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+class ShardedExecutor:
+    """Shards batch workloads across a process pool, one context per worker.
+
+    Parameters
+    ----------
+    context:
+        The execution context to replicate into every worker.  Its derived
+        caches are never serialised; each worker rebuilds its own.
+    workers:
+        Number of worker processes; ``None`` selects the available CPU
+        count.  ``0`` is rejected — it means "in-process" on every other
+        surface of the library, which a pool cannot honour.
+    chunk_size:
+        Queries per shard task.  Smaller shards balance load better,
+        larger shards amortise inter-process messaging; the default aims
+        at roughly four shards per worker.
+    start_method:
+        Multiprocessing start method override (``fork`` where available by
+        default; the context is shipped explicitly either way).
+
+    The executor owns one pool across all of its :meth:`run` calls — reuse
+    it (it is a context manager) when issuing several batches, so workers
+    keep their contexts and warmed caches between batches.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.context = context
+        self.workers = resolve_worker_count(workers)
+        self.chunk_size = chunk_size
+        self.start_method = start_method or _preferred_start_method()
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_versions: Tuple[int, int] = (-1, -1)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _context_versions(self) -> Tuple[int, int]:
+        return (
+            self.context.route_index.version,
+            self.context.transition_index.version,
+        )
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        versions = self._context_versions()
+        if self._pool is not None and versions != self._pool_versions:
+            # The indexes changed since the workers were seeded (dynamic
+            # route/transition updates bump the version counters): the
+            # worker snapshots are stale, so rebuild the pool.  Same
+            # guarantee as the context's own version-guarded caches —
+            # holding a ShardedExecutor never produces stale answers.
+            self.close()
+        if self._pool is None:
+            payload = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+                initializer=_initialize_worker,
+                initargs=(payload,),
+            )
+            self._pool_versions = versions
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _shards(
+        self, jobs: List[ShardJob], k: int, plan: QueryPlan, semantics: Semantics
+    ) -> List[Shard]:
+        if self.chunk_size is not None:
+            chunk = self.chunk_size
+        else:
+            # ~4 shards per worker: enough slack that an unlucky shard of
+            # expensive queries does not leave the other workers idle.
+            chunk = max(1, math.ceil(len(jobs) / (self.workers * 4)))
+        return [
+            (start, jobs[start : start + chunk], k, plan, semantics)
+            for start in range(0, len(jobs), chunk)
+        ]
+
+    def run(
+        self,
+        jobs: Sequence[ShardJob],
+        k: int,
+        plan: QueryPlan,
+        semantics: Union[Semantics, str] = EXISTS,
+    ) -> List[RkNNTResult]:
+        """Answer every job of the workload, preserving workload order.
+
+        ``jobs`` pairs each query's normalised points with its excluded
+        route ids.  The return list is index-aligned with ``jobs`` — shard
+        completion order never leaks into the results.
+        """
+        semantics = Semantics.coerce(semantics)
+        # Resolve every "auto" knob in the parent so each worker runs the
+        # exact plan the serial path would have run.
+        plan = plan.resolved()
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_shard, shard)
+            for shard in self._shards(job_list, k, plan, semantics)
+        ]
+        results: List[Optional[RkNNTResult]] = [None] * len(job_list)
+        for future in concurrent.futures.as_completed(futures):
+            base_index, shard_results = future.result()
+            results[base_index : base_index + len(shard_results)] = shard_results
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        state = "open" if self._pool is not None else "idle"
+        return (
+            f"ShardedExecutor(workers={self.workers}, "
+            f"start_method={self.start_method!r}, {state})"
+        )

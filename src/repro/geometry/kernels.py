@@ -169,6 +169,63 @@ def boxes_min_dist_sq_to_query(boxes, query) -> List[float]:
     return out
 
 
+def points_dist_sq_to_point(points, point) -> List[float]:
+    """Squared distance from each of ``points`` to one ``point``.
+
+    The block version of :func:`repro.geometry.point.squared_euclidean`,
+    used by the block-expansion kNN traversals to score every entry of an
+    R-tree leaf in one call.  ``points`` is the output of
+    :func:`pack_points`.
+    """
+    px, py = float(point[0]), float(point[1])
+    if numpy_available():
+        pts = _np.asarray(points, dtype=_np.float64)
+        if len(pts) == 0:
+            return _np.zeros(0)
+        dx = pts[:, 0] - px
+        dy = pts[:, 1] - py
+        return dx * dx + dy * dy
+    out = []
+    for x, y in points:
+        dx = x - px
+        dy = y - py
+        out.append(dx * dx + dy * dy)
+    return out
+
+
+def boxes_min_max_dist_sq_to_point(boxes, point):
+    """``(MinDist², MaxDist²)`` of every box to one point, in one call.
+
+    The block version of :meth:`repro.geometry.bbox.BoundingBox.min_dist_sq`
+    and :meth:`~repro.geometry.bbox.BoundingBox.max_dist_sq`: the
+    block-expansion kNN traversals bound all children of an R-tree node per
+    kernel call instead of per child.  Both bounds evaluate the same
+    elementary-float expressions as the scalar methods (the two MinDist
+    clamp terms cannot both be non-zero, so their sum equals the selected
+    branch bitwise), keeping every backend's traversal decisions identical.
+    """
+    px, py = float(point[0]), float(point[1])
+    if numpy_available():
+        bxs = _np.asarray(boxes, dtype=_np.float64)
+        if len(bxs) == 0:
+            return _np.zeros(0), _np.zeros(0)
+        dx = _np.maximum(bxs[:, 0] - px, 0.0) + _np.maximum(px - bxs[:, 2], 0.0)
+        dy = _np.maximum(bxs[:, 1] - py, 0.0) + _np.maximum(py - bxs[:, 3], 0.0)
+        fx = _np.maximum(_np.abs(px - bxs[:, 0]), _np.abs(px - bxs[:, 2]))
+        fy = _np.maximum(_np.abs(py - bxs[:, 1]), _np.abs(py - bxs[:, 3]))
+        return dx * dx + dy * dy, fx * fx + fy * fy
+    mins = []
+    maxs = []
+    for min_x, min_y, max_x, max_y in boxes:
+        dx = min_x - px if px < min_x else (px - max_x if px > max_x else 0.0)
+        dy = min_y - py if py < min_y else (py - max_y if py > max_y else 0.0)
+        mins.append(dx * dx + dy * dy)
+        fx = max(abs(px - min_x), abs(px - max_x))
+        fy = max(abs(py - min_y), abs(py - max_y))
+        maxs.append(fx * fx + fy * fy)
+    return mins, maxs
+
+
 # ----------------------------------------------------------------------
 # Half-plane / filtering-space containment
 # ----------------------------------------------------------------------

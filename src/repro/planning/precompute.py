@@ -94,6 +94,7 @@ class VertexRkNNTIndex:
         self,
         vertices: Optional[Iterable[int]] = None,
         backend: str = BACKEND_AUTO,
+        workers: int = 0,
     ) -> PrecomputationReport:
         """Run the pre-computation (per-vertex RkNNT + all-pairs shortest).
 
@@ -111,15 +112,25 @@ class VertexRkNNTIndex:
             sources to a subset (all vertices by default).
         backend:
             Geometry-kernel backend for the sweep (``"auto"`` by default).
+        workers:
+            ``0`` (default) runs the sweep in-process; ``workers >= 1``
+            shards the per-vertex queries across that many worker processes
+            (:class:`~repro.engine.parallel.ShardedExecutor`).  Per-vertex
+            answers are identical either way; the sharded sweep's memoised
+            sub-queries stay inside the workers, so later lazy lookups
+            recompute in the parent instead of hitting the shared cache.
         """
         vertex_list = (
             list(vertices) if vertices is not None else list(self.network.vertices())
         )
         started = time.perf_counter()
-        for vertex in vertex_list:
-            self._endpoints_by_vertex[vertex] = self._query_vertex(
-                vertex, backend=backend
-            )
+        if workers:
+            self._build_sharded(vertex_list, backend, workers)
+        else:
+            for vertex in vertex_list:
+                self._endpoints_by_vertex[vertex] = self._query_vertex(
+                    vertex, backend=backend
+                )
         self.report.rknnt_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
@@ -127,6 +138,27 @@ class VertexRkNNTIndex:
         self.report.shortest_path_seconds = time.perf_counter() - started
         self.report.vertices = len(vertex_list)
         return self.report
+
+    def _build_sharded(
+        self, vertex_list: List[int], backend: str, workers: int
+    ) -> None:
+        """Shard the per-vertex RkNNT sweep across worker processes."""
+        from repro.engine.parallel import ShardedExecutor
+
+        jobs = [
+            ([tuple(self.network.position(vertex))], frozenset())
+            for vertex in vertex_list
+        ]
+        with ShardedExecutor(
+            self.processor.engine_context, workers=workers
+        ) as sharded:
+            results = sharded.run(jobs, self.k, self._bulk_plan(backend))
+        for vertex, result in zip(vertex_list, results):
+            self._endpoints_by_vertex[vertex] = frozenset(
+                (transition_id, endpoint)
+                for transition_id, endpoints in result.confirmed_endpoints.items()
+                for endpoint in endpoints
+            )
 
     def _bulk_plan(self, backend: str) -> QueryPlan:
         """Single-point plan sharing the processor's sub-query cache."""

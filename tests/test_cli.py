@@ -103,6 +103,70 @@ class TestQuery:
         )
         assert "forall" in capsys.readouterr().out
 
+    def test_batch_file_with_workers(self, data_dir, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("0 2 8 2\n4 2\n# comment\n\n1 0.5 7 0.5\n")
+        assert (
+            main(
+                [
+                    "query",
+                    "--data-dir",
+                    data_dir,
+                    "--k",
+                    "2",
+                    "--batch-file",
+                    str(batch),
+                ]
+            )
+            == 0
+        )
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query",
+                    "--data-dir",
+                    data_dir,
+                    "--k",
+                    "2",
+                    "--batch-file",
+                    str(batch),
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        sharded_out = capsys.readouterr().out
+        assert "workers=2" in sharded_out
+        # Same workload, same matched-transition total on both paths.
+        matched = [
+            line.split("total", 1)[1]
+            for line in serial_out.splitlines()
+            if "transitions matched" in line
+        ]
+        sharded_matched = [
+            line.split("total", 1)[1]
+            for line in sharded_out.splitlines()
+            if "transitions matched" in line
+        ]
+        assert matched[0].split(",")[-1] == sharded_matched[0].split(",")[-1]
+
+    def test_workers_require_batch_file(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--data-dir",
+                    data_dir,
+                    "--point",
+                    "0",
+                    "2",
+                    "--workers",
+                    "2",
+                ]
+            )
+
     def test_missing_data_dir_errors(self, tmp_path):
         with pytest.raises(SystemExit):
             main(
