@@ -35,12 +35,11 @@ from __future__ import annotations
 import json
 import math
 import os
-import subprocess
 import time
 
 from repro.bench.harness import time_batch_throughput
 from repro.bench.parameters import DEFAULT_INTERVAL, DEFAULT_QUERY_LENGTH
-from repro.bench.reporting import format_table
+from repro.bench.reporting import append_trajectory, format_table, git_commit
 from repro.core.rknnt import METHODS, VORONOI
 from repro.engine.parallel import available_cpu_count
 from repro.engine.plan import TRAVERSAL_BLOCK, TRAVERSAL_ENV, TRAVERSAL_NODE
@@ -64,22 +63,6 @@ SHARD_WORKERS = 2
 #: Noise tolerance for the "block expansion is no slower" bar (best-of-3
 #: already damps most jitter; shared CI runners still wobble a little).
 TRAVERSAL_TOLERANCE = 1.15
-
-
-def _git_commit() -> str:
-    try:
-        return (
-            subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                capture_output=True,
-                text=True,
-                timeout=10,
-                cwd=os.path.dirname(os.path.abspath(__file__)),
-            ).stdout.strip()
-            or "unknown"
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
 
 
 def _time_traversals(processor, queries, k, method, repeats=3):
@@ -111,22 +94,6 @@ def _time_traversals(processor, queries, k, method, repeats=3):
         else:
             os.environ[TRAVERSAL_ENV] = previous
     return best, results
-
-
-def _append_trajectory(entry: dict) -> None:
-    history = {"benchmark": "batch_throughput", "entries": []}
-    if os.path.exists(TRAJECTORY_PATH):
-        try:
-            with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
-                loaded = json.load(handle)
-            if isinstance(loaded.get("entries"), list):
-                history = loaded
-        except (OSError, ValueError):
-            pass  # corrupt or foreign file: restart the trajectory
-    history["entries"].append(entry)
-    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
-        json.dump(history, handle, indent=2)
-        handle.write("\n")
 
 
 def test_batch_throughput(benchmark, la_bundle, bench_scale, write_result):
@@ -215,12 +182,13 @@ def test_batch_throughput(benchmark, la_bundle, bench_scale, write_result):
     json_path = os.path.join(RESULTS_DIR, "batch_throughput.json")
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
-    _append_trajectory(
+    append_trajectory(
+        TRAJECTORY_PATH,
         {
-            "commit": _git_commit(),
+            "commit": git_commit(os.path.dirname(os.path.abspath(__file__))),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             **payload,
-        }
+        },
     )
 
     if numpy_available():

@@ -1,0 +1,217 @@
+"""Delta-maintained standing queries vs. recompute-per-update.
+
+Not a figure of the paper: this benchmark quantifies the continuous-query
+subsystem (``repro.engine.continuous``).  The same stream of transition
+inserts/deletes is replayed against two identically-seeded cities:
+
+* **delta** — one :meth:`~repro.core.rknnt.RkNNTProcessor.watch`
+  subscription absorbs every update incrementally (O(filter) half-space
+  test per inserted endpoint, O(1) deletes, result deltas polled after
+  every update);
+* **recompute** — the pre-continuous workflow: a fresh
+  :meth:`~repro.core.rknnt.RkNNTProcessor.query` after every update.
+
+Both paths must finish with element-wise identical standing results, also
+equal to the brute-force oracle; only then are the timings trusted.
+
+Acceptance bar: delta maintenance beats recompute-per-update on the smoke
+workload (asserted at ≥ 1.5×; in practice the gap is one or two orders of
+magnitude, since a delta touches two endpoints while a recompute re-runs
+the whole filter → prune → verify pipeline).
+
+Results are written as a text table, as JSON under ``benchmarks/results/``,
+and appended to the repo-root ``BENCH_batch.json`` trajectory artifact
+(entries tagged ``"benchmark": "continuous_updates"``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.bench.harness import build_benchmark_city
+from repro.bench.parameters import DEFAULT_INTERVAL, DEFAULT_QUERY_LENGTH
+from repro.bench.reporting import append_trajectory, format_table, git_commit
+from repro.core.baseline import rknnt_bruteforce
+from repro.core.rknnt import VORONOI
+from repro.data.checkins import TransitionGenerator
+from repro.geometry.kernels import numpy_available
+from repro.model.transition import Transition
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_batch.json",
+)
+
+#: k of the standing query (kept modest, like the batch benchmark, so
+#: pruning stays effective on the scaled-down cities).
+WATCH_K = 5
+
+#: Required advantage of delta maintenance over recompute-per-update.  The
+#: true gap is typically 10–100×; the bar stays far below that so noisy
+#: shared runners cannot flake it while still failing on any regression
+#: that makes deltas no cheaper than recomputation.
+MIN_SPEEDUP = 1.5
+
+
+def _build_update_stream(city, transitions, updates, seed=2024):
+    """A deterministic list of ``("insert", Transition) | ("delete", id)``.
+
+    Inserts slightly outnumber deletes so the active set keeps churning
+    without draining; deletes always target a currently-live id so both
+    replay paths stay valid.
+    """
+    rng = random.Random(seed)
+    generator = TransitionGenerator(city.routes, seed=seed)
+    next_id = transitions.next_id()
+    live = list(transitions.transition_ids)
+    stream = []
+    for fresh in generator.iter_transitions(updates, start_id=next_id):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            stream.append(("delete", victim))
+        else:
+            stream.append(("insert", fresh))
+            live.append(fresh.transition_id)
+        if len(stream) >= updates:
+            break
+    return stream
+
+
+def _replay(processor, stream):
+    for kind, payload in stream:
+        if kind == "insert":
+            transition = payload
+            processor.add_transition(
+                Transition(
+                    transition.transition_id,
+                    transition.origin,
+                    transition.destination,
+                    timestamp=transition.timestamp,
+                )
+            )
+        else:
+            processor.remove_transition(payload)
+
+
+def test_continuous_updates(benchmark, bench_scale, write_result):
+    # Two identically-seeded bundles: the streams mutate their transition
+    # sets, so the session-scoped fixture bundle must stay untouched.
+    city_a, transitions_a, processor_a, workload = build_benchmark_city(
+        "la", bench_scale
+    )
+    city_b, transitions_b, processor_b, _ = build_benchmark_city(
+        "la", bench_scale
+    )
+    query = workload.query_routes(
+        1, DEFAULT_QUERY_LENGTH, DEFAULT_INTERVAL * bench_scale.distance_scale
+    )[0]
+    updates = max(60, 20 * bench_scale.queries_per_point)
+    stream = _build_update_stream(city_a, transitions_a, updates)
+
+    # Delta path: one standing subscription, updates folded incrementally.
+    subscription = processor_a.watch(query, WATCH_K, method=VORONOI)
+    emitted = 0
+    started = time.perf_counter()
+    for kind, payload in stream:
+        _replay(processor_a, [(kind, payload)])
+        emitted += len(subscription.poll())
+    delta_seconds = time.perf_counter() - started
+    delta_ids = subscription.result().transition_ids
+
+    # Recompute path: the same stream, a fresh query after every update.
+    started = time.perf_counter()
+    recompute_ids = frozenset()
+    for kind, payload in stream:
+        _replay(processor_b, [(kind, payload)])
+        recompute_ids = processor_b.query(
+            query, WATCH_K, method=VORONOI
+        ).transition_ids
+    recompute_seconds = time.perf_counter() - started
+
+    # Correctness before any timing is trusted.
+    assert delta_ids == recompute_ids, "delta result diverged from recompute"
+    oracle = rknnt_bruteforce(
+        city_a.routes, processor_a.transitions, query, WATCH_K
+    )
+    assert delta_ids == oracle.transition_ids, "delta result diverged from oracle"
+
+    speedup = recompute_seconds / delta_seconds if delta_seconds else float("inf")
+    stats = subscription.delta_stats
+    rows = [
+        {
+            "mode": "delta",
+            "total_s": delta_seconds,
+            "per_update_ms": delta_seconds / len(stream) * 1000.0,
+            "speedup": speedup,
+        },
+        {
+            "mode": "recompute",
+            "total_s": recompute_seconds,
+            "per_update_ms": recompute_seconds / len(stream) * 1000.0,
+            "speedup": 1.0,
+        },
+    ]
+    table = format_table(
+        rows,
+        title=(
+            f"continuous updates: delta maintenance vs recompute-per-update "
+            f"({len(stream)} updates, k={WATCH_K}, method={VORONOI}, "
+            f"endpoints filtered/verified = "
+            f"{stats.endpoints_filtered}/{stats.endpoints_verified}, "
+            f"deltas emitted = {emitted})"
+        ),
+    )
+    write_result("continuous_updates", table)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "benchmark": "continuous_updates",
+        "updates": len(stream),
+        "k": WATCH_K,
+        "method": VORONOI,
+        "numpy": numpy_available(),
+        "scale": bench_scale.name,
+        "delta_seconds": delta_seconds,
+        "recompute_seconds": recompute_seconds,
+        "speedup": speedup,
+        "endpoints_filtered": stats.endpoints_filtered,
+        "endpoints_verified": stats.endpoints_verified,
+        "deltas_emitted": emitted,
+    }
+    with open(
+        os.path.join(RESULTS_DIR, "continuous_updates.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2)
+    append_trajectory(
+        TRAJECTORY_PATH,
+        {
+            "commit": git_commit(os.path.dirname(os.path.abspath(__file__))),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            **payload,
+        },
+    )
+
+    # Acceptance bar: delta maintenance must beat recompute-per-update.
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup from delta maintenance, got "
+        f"{speedup:.2f}x ({delta_seconds:.3f}s vs {recompute_seconds:.3f}s)"
+    )
+
+    # pytest-benchmark datum: one steady-state insert + delete round-trip
+    # against the standing subscription (net-zero on the dataset).
+    spare_id = processor_a.transitions.next_id()
+    spare = Transition(spare_id, (1.0, 1.0), (2.0, 2.0))
+
+    def churn_once():
+        processor_a.add_transition(
+            Transition(spare_id, spare.origin, spare.destination)
+        )
+        subscription.poll()
+        processor_a.remove_transition(spare_id)
+        subscription.poll()
+
+    benchmark(churn_once)

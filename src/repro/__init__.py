@@ -50,7 +50,13 @@ from repro.core import (
 # Imported after repro.core: the engine's executor and core's strategy
 # wrappers reference each other's submodules, and core resolves the cycle
 # when it initialises first.
-from repro.engine import ExecutionContext, QueryPlan
+from repro.engine import (
+    ContinuousRkNNT,
+    ExecutionContext,
+    QueryPlan,
+    ResultDelta,
+    Subscription,
+)
 from repro.index import RouteIndex, TransitionIndex, RTree
 from repro.planning import (
     BusNetwork,
@@ -63,8 +69,11 @@ from repro.data import CityGenerator, TransitionGenerator, SyntheticCity
 __version__ = "1.1.0"
 
 __all__ = [
+    "ContinuousRkNNT",
     "ExecutionContext",
     "QueryPlan",
+    "ResultDelta",
+    "Subscription",
     "Route",
     "Transition",
     "RouteDataset",

@@ -8,8 +8,62 @@ against the paper without a plotting stack.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import subprocess
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def git_commit(cwd: Optional[str] = None) -> str:
+    """Short hash of the current commit (``"unknown"`` outside a checkout)."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=cwd,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_trajectory(path: str, entry: Mapping[str, object]) -> None:
+    """Append one benchmark entry to a JSON trajectory artifact.
+
+    The artifact accumulates one entry per benchmark run (CI appends on
+    every PR), so perf numbers form a history next to the code.  A missing,
+    corrupt or foreign file restarts the trajectory instead of failing the
+    benchmark.
+
+    Parameters
+    ----------
+    path:
+        The trajectory file (e.g. the repo-root ``BENCH_batch.json``).
+    entry:
+        The run's payload; should carry at least ``benchmark``, ``commit``
+        and ``timestamp`` keys so entries from different benchmarks can be
+        told apart.
+    """
+    history: Dict[str, object] = {"benchmark": "trajectory", "entries": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("entries"), list
+            ):
+                history = loaded
+        except (OSError, ValueError):
+            pass  # corrupt or foreign file: restart the trajectory
+    history["entries"].append(dict(entry))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
 
 
 def _format_value(value: object, precision: int) -> str:

@@ -1,12 +1,16 @@
 """Command-line interface for the RkNNT library.
 
-Four sub-commands cover the typical workflows without writing any Python:
+Five sub-commands cover the typical workflows without writing any Python:
 
 ``generate``
     Build a synthetic city (routes + transitions) and save it as CSV files.
 ``query``
-    Run one RkNNT query against saved datasets and print the matching
-    transitions.
+    Run one RkNNT query (or a ``--batch-file`` workload) against saved
+    datasets and print the matching transitions.
+``watch``
+    Register a standing query and replay a transition update log against
+    it, printing the incremental result deltas (the continuous-query
+    subsystem).
 ``capacity``
     Estimate the demand of every route in a saved dataset (the capacity
     estimation use case).
@@ -19,6 +23,8 @@ Example session::
     python -m repro.cli generate --preset mini --output-dir ./data
     python -m repro.cli query --data-dir ./data --k 5 \\
         --point 3.0 4.0 --point 5.0 4.5
+    python -m repro.cli watch --data-dir ./data --k 5 \\
+        --point 3.0 4.0 --updates updates.log
     python -m repro.cli capacity --data-dir ./data --k 5 --top 10
     python -m repro.cli plan --data-dir ./data --k 5 --start 0 --end 17 --ratio 1.4
 """
@@ -108,6 +114,37 @@ def build_parser() -> argparse.ArgumentParser:
             "shard a --batch-file workload across N worker processes "
             "(0 = in-process; results are identical either way)"
         ),
+    )
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="maintain a standing query over a replayed update log",
+    )
+    _add_data_arguments(watch)
+    watch.add_argument(
+        "--point",
+        dest="points",
+        type=float,
+        nargs=2,
+        action="append",
+        metavar=("X", "Y"),
+        required=True,
+        help="standing query point; repeat for multi-point queries",
+    )
+    watch.add_argument(
+        "--updates",
+        required=True,
+        help=(
+            "update log replayed against the standing query: one operation "
+            "per line, either '+ ID OX OY DX DY' (insert a transition) or "
+            "'- ID' (delete it); blank lines and #-comments ignored"
+        ),
+    )
+    watch.add_argument(
+        "--method", choices=METHODS, default=VORONOI, help="evaluation strategy"
+    )
+    watch.add_argument(
+        "--semantics", choices=("exists", "forall"), default="exists"
     )
 
     capacity = subparsers.add_parser(
@@ -301,6 +338,111 @@ def _run_query_batch(args, processor, transitions) -> int:
     return 0
 
 
+def _load_update_log(path: str):
+    """Parse an update log: ``+ ID OX OY DX DY`` inserts, ``- ID`` deletes."""
+    if not os.path.exists(path):
+        raise SystemExit(f"error: update log {path} does not exist")
+    operations = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            fields = text.replace(",", " ").split()
+            where = f"{path}:{line_number}"
+            try:
+                if fields[0] == "+" and len(fields) == 6:
+                    operations.append(
+                        (
+                            "insert",
+                            int(fields[1]),
+                            (float(fields[2]), float(fields[3])),
+                            (float(fields[4]), float(fields[5])),
+                        )
+                    )
+                elif fields[0] == "-" and len(fields) == 2:
+                    operations.append(("delete", int(fields[1]), None, None))
+                else:
+                    raise SystemExit(
+                        f"error: {where}: expected '+ ID OX OY DX DY' or '- ID'"
+                    )
+            except ValueError:
+                raise SystemExit(f"error: {where}: non-numeric field")
+    if not operations:
+        raise SystemExit(f"error: update log {path} contains no operations")
+    return operations
+
+
+def command_watch(args: argparse.Namespace) -> int:
+    from repro.model.transition import Transition
+
+    routes, transitions = _load_datasets(args.data_dir)
+    operations = _load_update_log(args.updates)
+    processor = RkNNTProcessor(routes, transitions)
+    query_points = [tuple(point) for point in args.points]
+    subscription = processor.watch(
+        query_points, args.k, method=args.method, semantics=args.semantics
+    )
+    print(
+        f"watching RkNNT(|Q|={len(query_points)}, k={args.k}, "
+        f"method={args.method}, semantics={args.semantics}): "
+        f"{len(subscription.transition_ids)} transitions initially"
+    )
+    rows = []
+    for step, (kind, transition_id, origin, destination) in enumerate(operations):
+        if kind == "insert":
+            if transition_id in transitions:
+                raise SystemExit(
+                    f"error: update {step}: transition id {transition_id} "
+                    f"already present"
+                )
+            processor.add_transition(Transition(transition_id, origin, destination))
+        else:
+            if transition_id not in transitions:
+                raise SystemExit(
+                    f"error: update {step}: transition id {transition_id} "
+                    f"not in dataset"
+                )
+            processor.remove_transition(transition_id)
+        for delta in subscription.poll():
+            rows.append(
+                {
+                    "step": step,
+                    "op": f"{'+' if kind == 'insert' else '-'}{transition_id}",
+                    "cause": delta.cause,
+                    "added": ",".join(str(t) for t in sorted(delta.added)) or "-",
+                    "removed": (
+                        ",".join(str(t) for t in sorted(delta.removed)) or "-"
+                    ),
+                }
+            )
+    if rows:
+        print(format_table(rows, title="result deltas"))
+    else:
+        print("(no result deltas: the standing result never changed)")
+
+    standing = subscription.result()
+    fresh = processor.query(
+        query_points, args.k, method=args.method, semantics=args.semantics
+    )
+    if standing.transition_ids != fresh.transition_ids:
+        print("error: standing result diverged from a fresh query", file=sys.stderr)
+        return 1
+    stats = subscription.delta_stats
+    print(
+        f"replayed {len(operations)} updates: "
+        f"{stats.inserts_seen} inserts, {stats.deletes_seen} deletes; "
+        f"{stats.endpoints_filtered} endpoints rejected by the filter test, "
+        f"{stats.endpoints_verified} verified exactly, "
+        f"{stats.rebuilds} rebuilds"
+    )
+    print(
+        f"standing result: {len(standing)} transitions "
+        f"(verified against a fresh query)"
+    )
+    return 0
+
+
 def command_capacity(args: argparse.Namespace) -> int:
     routes, transitions = _load_datasets(args.data_dir)
     processor = RkNNTProcessor(routes, transitions)
@@ -367,6 +509,7 @@ def command_plan(args: argparse.Namespace) -> int:
 COMMANDS = {
     "generate": command_generate,
     "query": command_query,
+    "watch": command_watch,
     "capacity": command_capacity,
     "plan": command_plan,
 }

@@ -262,6 +262,41 @@ def count_routes_within_sq(
     return len(found)
 
 
+def closer_route_count(
+    route_index: RouteIndex,
+    point: Sequence[float],
+    query_points: Sequence[Sequence[float]],
+    k: int,
+    exclude_route_ids: Optional[Set[int]] = None,
+    backend: str = BACKEND_AUTO,
+) -> int:
+    """Distinct routes strictly closer to ``point`` than the query is.
+
+    The endpoint-confirmation primitive: the threshold is the squared
+    distance from ``point`` to its nearest query point, the count stops
+    early at ``k`` (whether more routes are closer no longer matters), and
+    ``point`` is confirmed exactly when the returned count is below ``k``.
+    The single source of this expression — the engine's verification stage,
+    the continuous-query delta maintenance and the execution context's
+    cache patching must all make identical decisions.
+
+    Returns
+    -------
+    int
+        The number of distinct non-excluded routes strictly closer than
+        the query, capped at ``k``.
+    """
+    threshold_sq = query_distance_sq(point, query_points)
+    return count_routes_within_sq(
+        route_index,
+        point,
+        threshold_sq,
+        stop_at=k,
+        exclude_route_ids=exclude_route_ids,
+        backend=backend,
+    )
+
+
 def point_takes_query_as_knn(
     route_index: RouteIndex,
     point: Sequence[float],
@@ -277,12 +312,11 @@ def point_takes_query_as_knn(
     the strict half-plane pruning used by the filter phase).  Uses the
     squared-distance comparison, like the engine's verification stage.
     """
-    threshold_sq = query_distance_sq(point, query_points)
-    closer = count_routes_within_sq(
+    closer = closer_route_count(
         route_index,
         point,
-        threshold_sq,
-        stop_at=k,
+        query_points,
+        k,
         exclude_route_ids=exclude_route_ids,
         backend=backend,
     )

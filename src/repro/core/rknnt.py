@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Union
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
 from repro.engine.context import ExecutionContext
+from repro.engine.continuous import ContinuousRkNNT, Subscription
 from repro.engine.executor import execute
 from repro.engine.plan import (
     DIVIDE_CONQUER,
@@ -98,6 +99,14 @@ class RkNNTProcessor:
         self.engine_context = ExecutionContext(
             self.route_index, self.transition_index
         )
+        self._continuous: Optional[ContinuousRkNNT] = None
+
+    @property
+    def continuous(self) -> ContinuousRkNNT:
+        """The lazily-created continuous-query manager of this processor."""
+        if self._continuous is None:
+            self._continuous = ContinuousRkNNT(self.engine_context)
+        return self._continuous
 
     # ------------------------------------------------------------------
     # Dynamic updates
@@ -171,6 +180,12 @@ class RkNNTProcessor:
             then reflect the per-tuple work the paper's figures count.  Use
             :meth:`query_batch` (or pass ``"auto"``) for the vectorized
             kernels; answers are identical either way.
+
+        Returns
+        -------
+        RkNNTResult
+            The matching transition ids under ``semantics``, the raw
+            per-endpoint confirmation map, and the query statistics.
         """
         semantics = Semantics.coerce(semantics)
         plan = QueryPlan.for_method(method, backend=backend)
@@ -225,6 +240,12 @@ class RkNNTProcessor:
             exercise the worker path deterministically; real speedups need
             ``>= 2`` and spare CPUs).  Worker sub-query caches are private,
             so the parent context's caches are neither used nor warmed.
+
+        Returns
+        -------
+        list of RkNNTResult
+            One result per query, in workload order, element-wise identical
+            to per-query :meth:`query` calls.
         """
         semantics = Semantics.coerce(semantics)
         plan = QueryPlan.for_method(
@@ -253,6 +274,65 @@ class RkNNTProcessor:
             )
             for query_points, excluded in jobs
         ]
+
+    # ------------------------------------------------------------------
+    # Continuous queries (delta-maintained standing results)
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        query: QueryLike,
+        k: int,
+        method: str = VORONOI,
+        semantics: Union[Semantics, str] = EXISTS,
+        exclude_route_ids: Optional[Iterable[int]] = None,
+        backend: str = BACKEND_PYTHON,
+        callback=None,
+    ) -> Subscription:
+        """Register a standing RkNNT query maintained under updates.
+
+        The returned :class:`~repro.engine.continuous.Subscription` tracks
+        ``RkNNT(query)`` as transitions stream in and out of the dataset:
+        each :meth:`add_transition` / :meth:`remove_transition` produces an
+        incremental :class:`~repro.engine.continuous.ResultDelta`
+        (``added`` / ``removed`` transition ids) instead of a full
+        recomputation — inserted endpoints are tested against the
+        subscription's retained filter half-spaces in O(filter) and only
+        borderline ones are verified exactly; route mutations trigger a
+        scoped re-filter, detected through the index generation counters.
+
+        Parameters
+        ----------
+        query, k, method, semantics, exclude_route_ids, backend:
+            Exactly as :meth:`query`; the materialized standing result
+            (:meth:`~repro.engine.continuous.Subscription.result`) is
+            element-wise identical to a fresh :meth:`query` with the same
+            arguments at any point of the update stream.
+        callback:
+            Optional ``callback(delta)`` invoked synchronously for every
+            non-empty result delta; deltas are also queued for
+            :meth:`~repro.engine.continuous.Subscription.poll`.
+
+        Returns
+        -------
+        Subscription
+            The live subscription; cancel it with :meth:`unwatch`.
+        """
+        semantics = Semantics.coerce(semantics)
+        plan = QueryPlan.for_method(method, backend=backend)
+        query_points = as_query_points(query)
+        excluded = self._resolve_exclusions(query, exclude_route_ids)
+        return self.continuous.watch(
+            query_points,
+            k,
+            plan,
+            semantics,
+            exclude_route_ids=excluded,
+            callback=callback,
+        )
+
+    def unwatch(self, subscription: Subscription) -> None:
+        """Cancel a standing query registered with :meth:`watch`."""
+        self.continuous.unwatch(subscription)
 
     def __repr__(self) -> str:
         return (

@@ -22,7 +22,10 @@ This package factors that pipeline out of the per-method modules:
   pipeline) and the :func:`execute` entry point;
 * :mod:`repro.engine.parallel` — :class:`ShardedExecutor`, which shards
   batch workloads across a process pool with one private context per
-  worker and deterministic result re-ordering.
+  worker and deterministic result re-ordering;
+* :mod:`repro.engine.continuous` — :class:`ContinuousRkNNT` and
+  :class:`Subscription`, delta-maintained standing queries over the
+  transition index's typed mutation stream.
 
 The geometry kernels themselves live in :mod:`repro.geometry.kernels`; the
 engine is backend-agnostic and produces element-wise identical answers on
@@ -30,6 +33,12 @@ the numpy and pure-Python backends.
 """
 
 from repro.engine.context import ExecutionContext
+from repro.engine.continuous import (
+    ContinuousRkNNT,
+    DeltaStatistics,
+    ResultDelta,
+    Subscription,
+)
 from repro.engine.executor import QueryExecutor, execute
 from repro.engine.filterset import FilterSet
 from repro.engine.parallel import ShardedExecutor
@@ -44,14 +53,18 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "ContinuousRkNNT",
     "DIVIDE_CONQUER",
+    "DeltaStatistics",
     "ExecutionContext",
     "FILTER_REFINE",
     "FilterSet",
     "METHODS",
     "QueryExecutor",
     "QueryPlan",
+    "ResultDelta",
     "ShardedExecutor",
+    "Subscription",
     "TRAVERSAL_BLOCK",
     "TRAVERSAL_NODE",
     "VORONOI",

@@ -88,7 +88,14 @@ class FilterSet:
     def points_by_crossover(
         self,
     ) -> List[Tuple[Tuple[float, float], FrozenSet[int]]]:
-        """Filter points in decreasing order of ``|C(r)|``."""
+        """Filter points in decreasing order of ``|C(r)|``.
+
+        Returns
+        -------
+        list of ((x, y), crossover_routes)
+            Points shared by many routes come first, so the pruning
+            predicates reach ``k`` dominating routes as early as possible.
+        """
         if not self._sorted:
             self._points.sort(key=lambda item: -len(item[1]))
             self._sorted = True

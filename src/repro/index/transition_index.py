@@ -1,9 +1,18 @@
-"""The TR-tree: the R-tree over transition endpoints (Section 4.1.2)."""
+"""The TR-tree: the R-tree over transition endpoints (Section 4.1.2).
+
+Besides the spatial index itself, this module is the source of the typed
+mutation stream that powers delta maintenance: every dynamic update emits a
+:class:`TransitionDelta` to the registered listeners *after* the tree has
+been updated, so a listener observing a delta always sees the post-mutation
+index state.  The continuous-query layer (:mod:`repro.engine.continuous`)
+and the execution context's delta-aware sub-query cache patching
+(:mod:`repro.engine.context`) both consume this stream.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.geometry.bbox import BoundingBox
 from repro.index.rtree import RTree, RTreeEntry, RTreeNode
@@ -12,6 +21,40 @@ from repro.model.transition import Transition
 
 ORIGIN = "o"
 DESTINATION = "d"
+
+#: Kinds of :class:`TransitionDelta` events.
+DELTA_INSERT = "insert"
+DELTA_DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TransitionDelta:
+    """One dynamic update of the transition set, as seen by listeners.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"`` or ``"delete"``.
+    transition:
+        The transition that was added to / removed from the index.
+    version:
+        The index's :attr:`TransitionIndex.version` *after* this mutation.
+        Deltas from one index form a contiguous version sequence, which is
+        what lets consumers prove that a stream of deltas fully covers a
+        version gap (see ``engine/context.py``).
+    """
+
+    kind: str
+    transition: Transition
+    version: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DELTA_INSERT, DELTA_DELETE):
+            raise ValueError(f"kind must be '{DELTA_INSERT}' or '{DELTA_DELETE}'")
+
+
+#: Signature of a mutation listener.
+DeltaListener = Callable[[TransitionDelta], None]
 
 
 @dataclass(frozen=True)
@@ -44,6 +87,38 @@ class TransitionIndex:
         #: Monotonic counter bumped on every dynamic update; the execution
         #: engine keys its per-dataset caches on it (see ``engine/context.py``).
         self.version = 0
+        #: Mutation listeners notified (post-mutation) with a
+        #: :class:`TransitionDelta` per dynamic update.  Never pickled: a
+        #: listener usually closes over engine state that must stay private
+        #: to its process (see :meth:`__getstate__`).
+        self._listeners: List[DeltaListener] = []
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (delta maintenance)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: DeltaListener) -> None:
+        """Register a callable invoked after every dynamic update.
+
+        Parameters
+        ----------
+        listener:
+            Called as ``listener(delta)`` with a :class:`TransitionDelta`
+            once the mutation has been applied to the tree.  Listeners run
+            synchronously, in registration order.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: DeltaListener) -> None:
+        """Unregister a listener previously added (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, kind: str, transition: Transition) -> None:
+        delta = TransitionDelta(kind, transition, self.version)
+        for listener in list(self._listeners):
+            listener(delta)
 
     def _build_tree(self) -> RTree:
         entries: List[RTreeEntry] = []
@@ -86,6 +161,7 @@ class TransitionIndex:
                 ),
             )
         )
+        self._emit(DELTA_INSERT, transition)
 
     def remove_transition(self, transition: Transition) -> int:
         """Remove a transition's endpoints from the index.
@@ -103,7 +179,22 @@ class TransitionIndex:
             entry = self.tree.remove(point, match=lambda e: tag in e.payload)
             if entry is not None:
                 removed += 1
+        self._emit(DELTA_DELETE, transition)
         return removed
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle everything but the listeners.
+
+        Listeners are process-local observers (subscriptions, execution
+        contexts); shipping an index to a shard worker must not drag them
+        along — the worker re-attaches its own listeners as needed.
+        """
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
 
     # ------------------------------------------------------------------
     # Accessors

@@ -52,6 +52,26 @@ class Transition:
         """Minimum bounding rectangle of the two endpoints."""
         return BoundingBox.from_points(self.points)
 
+    def coordinates(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """The endpoint coordinates as plain ``((ox, oy), (dx, dy))`` tuples.
+
+        Geometric identity, independent of the transition id — convenient
+        for reinserting a transition at the same location under a new id
+        (``Transition(new_id, *old.coordinates())``); the continuous-query
+        differential tests rely on this to assert that a
+        delete-then-reinsert converges to the same standing result
+        whichever id the reinserted transition carries.
+
+        Returns
+        -------
+        tuple
+            ``((origin.x, origin.y), (destination.x, destination.y))``.
+        """
+        return (
+            (self.origin.x, self.origin.y),
+            (self.destination.x, self.destination.y),
+        )
+
     @property
     def length(self) -> float:
         """Straight-line distance between origin and destination."""

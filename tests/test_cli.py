@@ -233,3 +233,98 @@ class TestPlan:
             main(
                 ["plan", "--data-dir", data_dir, "--start", "0", "--end", "9999"]
             )
+
+
+class TestWatch:
+    @pytest.fixture
+    def update_log(self, tmp_path):
+        path = tmp_path / "updates.log"
+        path.write_text(
+            "# replayed stream\n"
+            "+ 9000 1.0 0.2 7.0 0.1   # hugs route 0\n"
+            "+ 9001 50.0 50.0 60.0 60.0\n"
+            "- 9000\n"
+            "- 5\n"
+        )
+        return str(path)
+
+    def test_watch_replays_and_verifies(self, data_dir, update_log, capsys):
+        code = main(
+            [
+                "watch",
+                "--data-dir",
+                data_dir,
+                "--k",
+                "2",
+                "--point",
+                "1.0",
+                "0.0",
+                "--point",
+                "7.0",
+                "0.0",
+                "--updates",
+                update_log,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watching RkNNT" in out
+        assert "replayed 4 updates" in out
+        assert "verified against a fresh query" in out
+        # The transition hugging route 0 entered and left the result.
+        assert "+9000" in out and "-9000" in out
+
+    def test_watch_requires_updates_and_point(self, data_dir):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["watch", "--data-dir", data_dir])
+
+    def test_watch_rejects_malformed_log(self, data_dir, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("+ 1 2 3\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "watch",
+                    "--data-dir",
+                    data_dir,
+                    "--point",
+                    "1.0",
+                    "0.0",
+                    "--updates",
+                    str(bad),
+                ]
+            )
+
+    def test_watch_rejects_unknown_delete(self, data_dir, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("- 424242\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "watch",
+                    "--data-dir",
+                    data_dir,
+                    "--point",
+                    "1.0",
+                    "0.0",
+                    "--updates",
+                    str(bad),
+                ]
+            )
+
+    def test_watch_rejects_duplicate_insert(self, data_dir, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text("+ 0 1.0 1.0 2.0 2.0\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "watch",
+                    "--data-dir",
+                    data_dir,
+                    "--point",
+                    "1.0",
+                    "0.0",
+                    "--updates",
+                    str(bad),
+                ]
+            )

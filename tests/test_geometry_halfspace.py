@@ -14,7 +14,16 @@ from repro.geometry.halfspace import (
 )
 from repro.geometry.point import euclidean
 
-coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+# Coordinates are drawn as float32-representable values: the predicates
+# compare *squared* distances (the engine's elementary-float expressions,
+# bitwise-identical across backends), and squaring a sub-1.5e-154 distance
+# underflows to 0.0 where a true-distance comparison could still order the
+# points.  float32 spacing keeps every coordinate difference ≥ ~1.4e-45,
+# whose square is a normal float64, so squared and true distances order
+# identically over the whole strategy domain.
+coord = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False, width=32
+)
 points = st.tuples(coord, coord)
 
 

@@ -2,10 +2,15 @@
 
 import pytest
 
+import pickle
+
 from repro.geometry.bbox import BoundingBox
 from repro.index.transition_index import (
+    DELTA_DELETE,
+    DELTA_INSERT,
     DESTINATION,
     ORIGIN,
+    TransitionDelta,
     TransitionEntry,
     TransitionIndex,
 )
@@ -94,3 +99,42 @@ class TestDynamicUpdates:
         }
         assert (0, ORIGIN) in remaining
         assert (200, ORIGIN) not in remaining
+
+
+class TestDeltaStream:
+    def test_listener_sees_typed_contiguous_deltas(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        seen = []
+        index.add_listener(seen.append)
+
+        fresh = Transition(300, (1.0, 1.0), (2.0, 2.0))
+        index.add_transition(fresh)
+        index.remove_transition(fresh)
+
+        assert [delta.kind for delta in seen] == [DELTA_INSERT, DELTA_DELETE]
+        assert all(isinstance(delta, TransitionDelta) for delta in seen)
+        assert all(delta.transition is fresh for delta in seen)
+        # Versions stamp the post-mutation state and are contiguous.
+        assert [delta.version for delta in seen] == [1, 2]
+        assert index.version == 2
+
+    def test_remove_listener_stops_delivery(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        seen = []
+        index.add_listener(seen.append)
+        index.remove_listener(seen.append)
+        index.add_transition(Transition(301, (1.0, 1.0), (2.0, 2.0)))
+        assert seen == []
+        # Removing an unknown listener is a no-op, not an error.
+        index.remove_listener(seen.append)
+
+    def test_invalid_delta_kind_rejected(self, toy_transitions):
+        with pytest.raises(ValueError):
+            TransitionDelta("mutate", Transition(1, (0, 0), (1, 1)), 1)
+
+    def test_pickle_strips_listeners(self, toy_transitions):
+        index = TransitionIndex(toy_transitions, max_entries=4)
+        index.add_listener(lambda delta: None)
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone._listeners == []
+        assert clone.endpoint_count() == index.endpoint_count()

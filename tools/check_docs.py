@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Anti-rot checker for the documentation (README + docs/*.md).
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Checks, per markdown file:
+
+1. **Doctests** — every ``>>>`` example is executed (examples in one file
+   share a namespace, in order, like a REPL session) and its output must
+   match.  This is what keeps the snippets in ``docs/api.md`` and
+   ``docs/architecture.md`` honest.
+2. **Python fences** — fenced ```` ```python ```` blocks without ``>>>``
+   prompts must at least *compile* (catches renamed symbols breaking
+   syntax, half-edited snippets, bad indentation).
+3. **Relative links** — every ``[text](path)`` pointing into the repo must
+   resolve to an existing file.
+4. **CLI surface** — every sub-command of ``repro.cli`` must be mentioned
+   in the README (so new commands cannot ship undocumented), and the
+   README must link both docs pages.
+
+Exit status 0 when everything passes; 1 otherwise, with one line per
+failure.  The tier-1 suite runs this via ``tests/test_docs.py`` and CI has
+a dedicated docs job for it.
+"""
+
+from __future__ import annotations
+
+import doctest
+import glob
+import os
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> List[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    files.extend(sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))))
+    return [path for path in files if os.path.exists(path)]
+
+
+def extract_fences(text: str) -> List[Tuple[str, int, str]]:
+    """``(language, first_line_number, body)`` for every fenced block."""
+    fences = []
+    language = None
+    body: List[str] = []
+    start = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = FENCE_RE.match(line.strip())
+        if match and language is None:
+            language = match.group(1).lower()
+            body = []
+            start = number + 1
+        elif line.strip() == "```" and language is not None:
+            fences.append((language, start, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    return fences
+
+
+def check_doctests(path: str, failures: List[str]) -> int:
+    """Run every ``>>>`` example of the file as one REPL-like session."""
+    results = doctest.testfile(
+        path,
+        module_relative=False,
+        verbose=False,
+        report=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    if results.failed:
+        failures.append(
+            f"{os.path.relpath(path, REPO_ROOT)}: "
+            f"{results.failed}/{results.attempted} doctest example(s) failed "
+            f"(re-run with `python -m doctest {os.path.relpath(path, REPO_ROOT)} -v`)"
+        )
+    return results.attempted
+
+
+def check_python_fences(path: str, text: str, failures: List[str]) -> int:
+    checked = 0
+    for language, line, body in extract_fences(text):
+        if language != "python" or ">>>" in body:
+            continue  # doctest blocks are executed by check_doctests
+        try:
+            compile(body, f"{path}:{line}", "exec")
+            checked += 1
+        except SyntaxError as error:
+            failures.append(
+                f"{os.path.relpath(path, REPO_ROOT)}:{line + (error.lineno or 1) - 1}: "
+                f"python fence does not compile: {error.msg}"
+            )
+    return checked
+
+
+def check_links(path: str, text: str, failures: List[str]) -> int:
+    checked = 0
+    base = os.path.dirname(path)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        checked += 1
+        resolved = os.path.normpath(os.path.join(base, relative))
+        if not os.path.exists(resolved):
+            failures.append(
+                f"{os.path.relpath(path, REPO_ROOT)}: broken link -> {target}"
+            )
+    return checked
+
+
+def check_cli_surface(failures: List[str]) -> None:
+    readme = os.path.join(REPO_ROOT, "README.md")
+    with open(readme, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions  # noqa: SLF001 - argparse offers no API
+        if hasattr(action, "choices") and action.choices
+    )
+    for command in subparsers.choices:
+        if f"`{command}" not in text and f"cli {command}" not in text:
+            failures.append(
+                f"README.md: CLI sub-command `{command}` is undocumented"
+            )
+    for required in ("docs/architecture.md", "docs/api.md"):
+        if required not in text:
+            failures.append(f"README.md: missing link to {required}")
+
+
+def main() -> int:
+    sys.path.insert(0, SRC_DIR)
+    failures: List[str] = []
+    examples = fences = links = 0
+    for path in doc_files():
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        examples += check_doctests(path, failures)
+        fences += check_python_fences(path, text, failures)
+        links += check_links(path, text, failures)
+    check_cli_surface(failures)
+
+    name = os.path.basename(sys.argv[0]) or "check_docs.py"
+    if failures:
+        for failure in failures:
+            print(f"{name}: {failure}", file=sys.stderr)
+        print(
+            f"{name}: FAILED ({len(failures)} problem(s); "
+            f"{examples} doctest examples, {fences} compiled fences, "
+            f"{links} links checked)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{name}: OK ({len(doc_files())} files, {examples} doctest examples, "
+        f"{fences} compiled fences, {links} links)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
