@@ -12,6 +12,7 @@ import json
 import math
 import os
 import subprocess
+import tempfile
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
@@ -40,6 +41,14 @@ def append_trajectory(path: str, entry: Mapping[str, object]) -> None:
     corrupt or foreign file restarts the trajectory instead of failing the
     benchmark.
 
+    The append is **atomic**: the updated history is written to a
+    temporary file in the same directory and renamed over the target
+    (``os.replace``), so a reader — or one of the four CI matrix legs
+    appending concurrently — never observes a half-written file.  Two
+    truly simultaneous appends still last-writer-win on the rename (one
+    entry is lost, the file stays valid), which is the right trade for a
+    best-effort history artifact.
+
     Parameters
     ----------
     path:
@@ -61,9 +70,21 @@ def append_trajectory(path: str, entry: Mapping[str, object]) -> None:
         except (OSError, ValueError):
             pass  # corrupt or foreign file: restart the trajectory
     history["entries"].append(dict(entry))
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(history, handle, indent=2)
-        handle.write("\n")
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _format_value(value: object, precision: int) -> str:

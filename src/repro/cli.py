@@ -1,12 +1,16 @@
 """Command-line interface for the RkNNT library.
 
-Five sub-commands cover the typical workflows without writing any Python:
+Six sub-commands cover the typical workflows without writing any Python:
 
 ``generate``
     Build a synthetic city (routes + transitions) and save it as CSV files.
 ``query``
     Run one RkNNT query (or a ``--batch-file`` workload) against saved
     datasets and print the matching transitions.
+``serve``
+    Long-running serving loop: stream query batches (and interleaved
+    transition updates) from a file or stdin through one persistent worker
+    pool with shared-memory dataset arenas.
 ``watch``
     Register a standing query and replay a transition update log against
     it, printing the incremental result deltas (the continuous-query
@@ -23,6 +27,8 @@ Example session::
     python -m repro.cli generate --preset mini --output-dir ./data
     python -m repro.cli query --data-dir ./data --k 5 \\
         --point 3.0 4.0 --point 5.0 4.5
+    python -m repro.cli serve --data-dir ./data --k 5 \\
+        --input queries.txt --workers 4
     python -m repro.cli watch --data-dir ./data --k 5 \\
         --point 3.0 4.0 --updates updates.log
     python -m repro.cli capacity --data-dir ./data --k 5 --top 10
@@ -113,6 +119,48 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "shard a --batch-file workload across N worker processes "
             "(0 = in-process; results are identical either way)"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serving loop: stream query batches through a persistent pool",
+    )
+    _add_data_arguments(serve)
+    serve.add_argument(
+        "--input",
+        default="-",
+        help=(
+            "query/update stream ('-' = stdin, the default): one query per "
+            "line as whitespace-separated 'x1 y1 x2 y2 ...' coordinates, "
+            "interleaved with transition updates '+ ID OX OY DX DY' "
+            "(insert) or '- ID' (delete); blank lines and #-comments "
+            "ignored"
+        ),
+    )
+    serve.add_argument(
+        "--method", choices=METHODS, default=VORONOI, help="evaluation strategy"
+    )
+    serve.add_argument(
+        "--semantics", choices=("exists", "forall"), default="exists"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "size of the persistent serving pool (kept alive across every "
+            "dispatched batch; 0 = answer in-process without a pool)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help=(
+            "queries buffered per dispatch (a pending batch is also "
+            "flushed before any update is applied, preserving stream "
+            "order; default 8)"
         ),
     )
 
@@ -338,6 +386,160 @@ def _run_query_batch(args, processor, transitions) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    """Serving loop: stream queries (and updates) through a persistent pool.
+
+    Unlike ``query --batch-file`` — which answers one workload and exits,
+    spawning a fresh worker pool per invocation — ``serve`` keeps one pool
+    (and its shared-memory dataset arena) alive for the whole stream:
+    every flushed batch dispatches to already-warm workers, and transition
+    updates are delta-synced into them instead of forcing respawns.
+    """
+    import time
+
+    from repro.model.transition import Transition
+
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be non-negative")
+    if args.batch_size <= 0:
+        raise SystemExit("error: --batch-size must be positive")
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions)
+
+    if args.input == "-":
+        stream = sys.stdin
+        close_stream = False
+    else:
+        if not os.path.exists(args.input):
+            raise SystemExit(f"error: input stream {args.input} does not exist")
+        stream = open(args.input, "r", encoding="utf-8")
+        close_stream = True
+
+    stats = {"batches": 0, "queries": 0, "matched": 0, "updates": 0}
+    latencies: List[float] = []
+    batch: List[List[tuple]] = []
+
+    def flush() -> None:
+        if not batch:
+            return
+        started = time.perf_counter()
+        results = processor.query_batch(
+            batch,
+            args.k,
+            method=args.method,
+            semantics=args.semantics,
+            workers=args.workers,
+        )
+        elapsed = time.perf_counter() - started
+        latencies.append(elapsed)
+        matched = sum(len(result) for result in results)
+        stats["batches"] += 1
+        stats["queries"] += len(batch)
+        stats["matched"] += matched
+        print(
+            f"batch {stats['batches']}: {len(batch)} queries -> "
+            f"{matched} transitions in {elapsed * 1000:.1f} ms "
+            f"({len(batch) / elapsed:.1f} q/s)"
+            if elapsed
+            else f"batch {stats['batches']}: {len(batch)} queries -> {matched}"
+        )
+        batch.clear()
+
+    def apply_update(fields: Sequence[str], where: str) -> None:
+        # Stream order matters: answer everything buffered so far against
+        # the pre-update dataset before mutating it.
+        flush()
+        try:
+            if fields[0] == "+" and len(fields) == 6:
+                transition_id = int(fields[1])
+                if transition_id in transitions:
+                    raise SystemExit(
+                        f"error: {where}: transition id {transition_id} "
+                        f"already present"
+                    )
+                processor.add_transition(
+                    Transition(
+                        transition_id,
+                        (float(fields[2]), float(fields[3])),
+                        (float(fields[4]), float(fields[5])),
+                    )
+                )
+            elif fields[0] == "-" and len(fields) == 2:
+                transition_id = int(fields[1])
+                if transition_id not in transitions:
+                    raise SystemExit(
+                        f"error: {where}: transition id {transition_id} "
+                        f"not in dataset"
+                    )
+                processor.remove_transition(transition_id)
+            else:
+                raise SystemExit(
+                    f"error: {where}: expected '+ ID OX OY DX DY' or '- ID'"
+                )
+        except ValueError:
+            raise SystemExit(f"error: {where}: non-numeric field")
+        stats["updates"] += 1
+
+    def consume_stream() -> None:
+        for line_number, line in enumerate(stream, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            fields = text.replace(",", " ").split()
+            where = f"{args.input}:{line_number}"
+            if fields[0] in ("+", "-"):
+                apply_update(fields, where)
+                continue
+            if len(fields) % 2 != 0:
+                raise SystemExit(
+                    f"error: {where}: expected an even number of "
+                    f"coordinates, got {len(fields)}"
+                )
+            try:
+                floats = [float(value) for value in fields]
+            except ValueError:
+                raise SystemExit(f"error: {where}: non-numeric coordinate")
+            batch.append(
+                [(floats[i], floats[i + 1]) for i in range(0, len(floats), 2)]
+            )
+            if len(batch) >= args.batch_size:
+                flush()
+        flush()
+
+    try:
+        if args.workers:
+            with processor.serving_pool(workers=args.workers) as pool:
+                consume_stream()
+                arena = pool.arena
+                pool_line = (
+                    f"pool: {pool.workers} workers (persistent, "
+                    f"seeded {pool.pools_spawned}x), arena "
+                    + (f"{arena.nbytes} bytes shared" if arena else "off")
+                )
+        else:
+            consume_stream()
+            pool_line = "pool: in-process (workers=0)"
+    finally:
+        processor.close()
+        if close_stream:
+            stream.close()
+
+    if not stats["queries"] and not stats["updates"]:
+        raise SystemExit(f"error: input stream {args.input} contains no work")
+    total = sum(latencies)
+    mean_ms = (total / len(latencies) * 1000.0) if latencies else 0.0
+    print(
+        f"served {stats['queries']} queries in {stats['batches']} batches "
+        f"({stats['matched']} transitions matched, {stats['updates']} "
+        f"updates applied)"
+    )
+    print(
+        f"dispatch: {total * 1000:.1f} ms total, {mean_ms:.1f} ms/batch mean; "
+        f"{pool_line}"
+    )
+    return 0
+
+
 def _load_update_log(path: str):
     """Parse an update log: ``+ ID OX OY DX DY`` inserts, ``- ID`` deletes."""
     if not os.path.exists(path):
@@ -509,6 +711,7 @@ def command_plan(args: argparse.Namespace) -> int:
 COMMANDS = {
     "generate": command_generate,
     "query": command_query,
+    "serve": command_serve,
     "watch": command_watch,
     "capacity": command_capacity,
     "plan": command_plan,

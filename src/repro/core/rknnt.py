@@ -29,12 +29,26 @@ invalidate automatically through the indexes' version counters.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Union
+import os
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.parallel import ShardedExecutor
 
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
 from repro.engine.context import ExecutionContext
-from repro.engine.continuous import ContinuousRkNNT, Subscription
+from repro.engine.continuous import ContinuousRkNNT, ResultDelta, Subscription
 from repro.engine.executor import execute
 from repro.engine.plan import (
     DIVIDE_CONQUER,
@@ -51,6 +65,23 @@ from repro.model.route import Route
 from repro.model.transition import Transition
 
 QueryLike = Union[Route, Sequence[Sequence[float]]]
+
+#: ``RKNNT_SERVING_POOL=1`` makes ``query_batch(workers=N)`` adopt a
+#: processor-owned *persistent* worker pool on first use instead of
+#: spawning (and tearing down) a per-call pool — the environment-variable
+#: twin of the :meth:`RkNNTProcessor.serving_pool` context manager.  The
+#: adopted pool lives until :meth:`RkNNTProcessor.close`.
+SERVING_POOL_ENV = "RKNNT_SERVING_POOL"
+
+
+def serving_pool_env_enabled() -> bool:
+    """True when ``RKNNT_SERVING_POOL`` requests a persistent pool."""
+    return os.environ.get(SERVING_POOL_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 def as_query_points(query: QueryLike) -> list:
@@ -100,6 +131,10 @@ class RkNNTProcessor:
             self.route_index, self.transition_index
         )
         self._continuous: Optional[ContinuousRkNNT] = None
+        self._serving_pool = None
+        #: True when the live pool was adopted via ``RKNNT_SERVING_POOL``
+        #: (growable on demand) rather than opened by :meth:`serving_pool`.
+        self._serving_pool_adopted = False
 
     @property
     def continuous(self) -> ContinuousRkNNT:
@@ -107,6 +142,108 @@ class RkNNTProcessor:
         if self._continuous is None:
             self._continuous = ContinuousRkNNT(self.engine_context)
         return self._continuous
+
+    # ------------------------------------------------------------------
+    # Serving pool (persistent worker pool + shared-memory arenas)
+    # ------------------------------------------------------------------
+    @property
+    def active_serving_pool(self):
+        """The live persistent pool, or ``None`` (see :meth:`serving_pool`)."""
+        return self._serving_pool
+
+    @contextmanager
+    def serving_pool(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        use_arena: Optional[bool] = None,
+    ) -> Iterator["ShardedExecutor"]:
+        """Keep one worker pool alive across every parallel call in scope.
+
+        Inside the ``with`` block, :meth:`query_batch` (any ``workers > 0``),
+        the planning bulk pre-computation
+        (:meth:`repro.planning.precompute.VertexRkNNTIndex.build`) and
+        :meth:`refresh_subscriptions` all dispatch through this one pool
+        instead of spawning a fresh pool per call — workers keep their
+        unpickled context, shared-memory arena attachment and warmed caches
+        between calls, so dispatch latency stops scaling with dataset size.
+
+        Dynamic updates stay correct while the pool is live: transition
+        churn is forwarded to the workers as version-counted deltas (their
+        caches invalidate or delta-patch instead of being rebuilt), and
+        route churn reseeds the pool transparently.
+
+        Parameters are those of
+        :class:`~repro.engine.parallel.ShardedExecutor`; ``workers=None``
+        uses every available CPU.  The pool (and its shared-memory
+        segment) is destroyed on exit, crash included — the ``with`` form
+        is what guarantees cleanup.  For an open-ended lifetime use
+        ``RKNNT_SERVING_POOL=1`` plus :meth:`close`.
+        """
+        from repro.engine.parallel import ShardedExecutor
+
+        if self._serving_pool is not None:
+            raise RuntimeError("a serving pool is already active for this processor")
+        pool = ShardedExecutor(
+            self.engine_context,
+            workers=workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+            use_arena=use_arena,
+        )
+        self._serving_pool = pool
+        self._serving_pool_adopted = False
+        try:
+            yield pool
+        finally:
+            if self._serving_pool is pool:
+                self._serving_pool = None
+            pool.close()
+
+    def _adopted_serving_pool(self, workers: int):
+        """The env-var flavour of :meth:`serving_pool`: lazily create and
+        retain a processor-owned pool when ``RKNNT_SERVING_POOL`` is set.
+
+        The adopted pool is sized by the first call, but never *caps* a
+        later one: a request for more workers than the pool holds replaces
+        it with a larger pool (a smaller request keeps the larger pool —
+        warm workers beat an exact count).
+        """
+        from repro.engine.parallel import ShardedExecutor
+
+        pool = self._serving_pool
+        if pool is not None and workers > pool.workers:
+            pool.close()
+            self._serving_pool = pool = None
+        if pool is None:
+            self._serving_pool = pool = ShardedExecutor(
+                self.engine_context, workers=workers
+            )
+        self._serving_pool_adopted = True
+        return pool
+
+    def close(self) -> None:
+        """Release long-lived resources (idempotent).
+
+        Shuts the persistent serving pool down (destroying its
+        shared-memory segment) and cancels every standing subscription.
+        Query entry points remain usable afterwards — the serial path needs
+        nothing closed, and a later parallel call simply builds fresh
+        state.
+        """
+        if self._serving_pool is not None:
+            self._serving_pool.close()
+            self._serving_pool = None
+        self._serving_pool_adopted = False
+        if self._continuous is not None:
+            self._continuous.close()
+
+    def __enter__(self) -> "RkNNTProcessor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Dynamic updates
@@ -238,8 +375,12 @@ class RkNNTProcessor:
             ``0`` (default) answers the batch in-process.  ``workers >= 1``
             shards it across that many worker processes (``1`` is useful to
             exercise the worker path deterministically; real speedups need
-            ``>= 2`` and spare CPUs).  Worker sub-query caches are private,
-            so the parent context's caches are neither used nor warmed.
+            ``>= 2`` and spare CPUs).  While a persistent pool is live
+            (:meth:`serving_pool` scope, or adopted via
+            ``RKNNT_SERVING_POOL=1``), any ``workers >= 1`` call dispatches
+            through it — reusing its warm workers — instead of spawning a
+            per-call pool.  Worker sub-query caches are private, so the
+            parent context's caches are neither used nor warmed.
 
         Returns
         -------
@@ -259,6 +400,15 @@ class RkNNTProcessor:
             for query in queries
         ]
         if workers:
+            pool = self._serving_pool
+            if pool is not None and self._serving_pool_adopted:
+                # Adopted pools are growable: asking for more workers than
+                # the pool holds replaces it, a smaller ask reuses it.
+                pool = self._adopted_serving_pool(workers)
+            elif pool is None and serving_pool_env_enabled():
+                pool = self._adopted_serving_pool(workers)
+            if pool is not None:
+                return pool.run(jobs, k, plan, semantics)
             from repro.engine.parallel import ShardedExecutor
 
             with ShardedExecutor(self.engine_context, workers=workers) as sharded:
@@ -333,6 +483,23 @@ class RkNNTProcessor:
     def unwatch(self, subscription: Subscription) -> None:
         """Cancel a standing query registered with :meth:`watch`."""
         self.continuous.unwatch(subscription)
+
+    def refresh_subscriptions(self) -> List[ResultDelta]:
+        """Eagerly re-validate every standing query after index churn.
+
+        Stale subscriptions normally re-filter lazily, one by one, on their
+        next access.  After a burst of route mutations a serving process
+        wants them all current *now*; this entry point re-filters every
+        stale subscription at once — and, while a persistent pool is live
+        (:meth:`serving_pool`), runs those re-filters sharded across the
+        pool's workers instead of serially in the parent.  Results (and the
+        retained filter structures) are identical either way.
+
+        Returns the non-empty ``"rebuild"`` result deltas that were emitted.
+        """
+        if self._continuous is None:
+            return []
+        return self._continuous.refresh_all(pool=self._serving_pool)
 
     def __repr__(self) -> str:
         return (

@@ -22,7 +22,13 @@ This package factors that pipeline out of the per-method modules:
   pipeline) and the :func:`execute` entry point;
 * :mod:`repro.engine.parallel` — :class:`ShardedExecutor`, which shards
   batch workloads across a process pool with one private context per
-  worker and deterministic result re-ordering;
+  worker and deterministic result re-ordering; reusable as the processor's
+  persistent *serving pool* (transition churn is delta-synced into the
+  workers, route churn reseeds);
+* :mod:`repro.engine.arena` — shared-memory dataset arenas: the flattened
+  route matrix and packed R-tree box blocks published once into a
+  :mod:`multiprocessing.shared_memory` segment that workers attach
+  read-only views of in O(1), instead of rebuilding per worker;
 * :mod:`repro.engine.continuous` — :class:`ContinuousRkNNT` and
   :class:`Subscription`, delta-maintained standing queries over the
   transition index's typed mutation stream.
@@ -32,6 +38,7 @@ engine is backend-agnostic and produces element-wise identical answers on
 the numpy and pure-Python backends.
 """
 
+from repro.engine.arena import ArenaHandle, DatasetArena, publish_arena
 from repro.engine.context import ExecutionContext
 from repro.engine.continuous import (
     ContinuousRkNNT,
@@ -53,8 +60,11 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "ArenaHandle",
     "ContinuousRkNNT",
     "DIVIDE_CONQUER",
+    "DatasetArena",
+    "publish_arena",
     "DeltaStatistics",
     "ExecutionContext",
     "FILTER_REFINE",

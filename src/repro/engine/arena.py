@@ -1,0 +1,412 @@
+"""Shared-memory dataset arenas for the serving pool.
+
+The parallel execution layer ships one pickled :class:`~repro.engine.context
+.ExecutionContext` to every worker, and each worker then *rebuilds* its
+derived arrays — the flattened route matrix and the per-node packed box
+blocks — from the unpickled objects.  Both rebuilds are O(dataset), so a
+worker's warm-up cost scales with dataset size and every worker carries a
+private copy of arrays that are bit-identical across the pool.
+
+A **dataset arena** removes both costs.  The parent packs the derived
+arrays once into a single :class:`multiprocessing.shared_memory
+.SharedMemory` segment and publishes a tiny picklable
+:class:`ArenaHandle` describing the layout; a worker *attaches* by opening
+the segment and installing read-only numpy views:
+
+``segment layout``::
+
+    ┌───────────────────────────────────────────────────────────────┐
+    │ route-matrix block 0 points (R0, 2) float64                   │
+    │ route-matrix block 1 points (R1, 2) float64                   │
+    │ ...                                                           │
+    │ RR-tree node boxes, preorder: per node (children, 4) float64  │
+    │ TR-tree node boxes, preorder: per node (children, 4) float64  │
+    └───────────────────────────────────────────────────────────────┘
+
+Attach cost is O(1) in the number of route/transition *points* (one
+``shm_open`` + ``mmap``, then pointer-arithmetic view construction while
+walking the already-unpickled trees), and physical memory is shared by
+every worker instead of copied per worker.
+
+Correctness is preserved by construction:
+
+* views are **read-only** (``kernels.view_f64`` clears the write flag), so
+  no worker can scribble over a segment others are reading;
+* the installed route matrix is tagged with the route-index version it was
+  built against, and per-node box caches are dropped by any tree mutation
+  — if a worker's replica churns (delta sync), the affected arrays are
+  rebuilt privately and the shared segment is simply no longer referenced;
+* when numpy is unavailable (or ``RKNNT_ARENA=0``), publishing returns
+  ``None`` and the old pickle-and-rebuild path runs unchanged.
+
+Cleanup is guaranteed: every published segment is tracked in a
+module-level registry and destroyed (close + unlink) by ``close()``, by
+garbage collection, and at interpreter teardown (``weakref.finalize``
+doubles as an atexit hook); a crashed parent is covered by the standard
+``multiprocessing`` resource tracker, which the segment stays registered
+with for exactly this purpose.  Workers unregister their *attachments*
+from the resource tracker so a dying worker can never unlink a segment the
+rest of the pool still maps.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.context import ExecutionContext, RouteMatrix, RouteMatrixBlock
+from repro.geometry import kernels
+
+try:  # pragma: no cover - absent only on exotic builds without _posixshmem
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: ``RKNNT_ARENA`` — ``0``/``off`` disables arenas, ``1``/``on`` forces them
+#: even below the size threshold, anything else (or unset) means "auto".
+ARENA_ENV = "RKNNT_ARENA"
+
+#: ``RKNNT_ARENA_MIN_BYTES`` — in auto mode, datasets whose packed arrays
+#: total fewer bytes than this are shipped by pickle as before (a segment
+#: per tiny test dataset costs more than it saves).
+ARENA_MIN_BYTES_ENV = "RKNNT_ARENA_MIN_BYTES"
+DEFAULT_ARENA_MIN_BYTES = 16_384
+
+#: Bytes per packed box row (4 float64 columns).
+_BOX_ROW_BYTES = kernels.float64_nbytes(1, 4)
+_POINT_ROW_BYTES = kernels.float64_nbytes(1, 2)
+
+#: Live arenas published by this process: segment name -> finalizer.
+_ACTIVE: Dict[str, "weakref.finalize"] = {}
+
+
+def arena_enabled() -> Optional[bool]:
+    """Tri-state ``RKNNT_ARENA``: ``False`` off, ``True`` forced, ``None`` auto."""
+    raw = os.environ.get(ARENA_ENV, "").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return False
+    if raw in ("1", "on", "true", "yes", "force"):
+        return True
+    return None
+
+
+def arena_min_bytes() -> int:
+    """The auto-mode size threshold (``RKNNT_ARENA_MIN_BYTES``).
+
+    Invalid or negative values fall back to the default — a mistyped tuning
+    knob must never change answers or crash a query.
+    """
+    raw = os.environ.get(ARENA_MIN_BYTES_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_ARENA_MIN_BYTES
+        if value >= 0:
+            return value
+    return DEFAULT_ARENA_MIN_BYTES
+
+
+def active_segment_names() -> List[str]:
+    """Names of the shared-memory segments this process currently owns.
+
+    The differential lifecycle tests assert this is empty after teardown —
+    an entry left here after a pool/arena close is a leaked segment.
+    """
+    return sorted(name for name, fin in _ACTIVE.items() if fin.alive)
+
+
+# ----------------------------------------------------------------------
+# Layout description (pickled to workers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockSpec:
+    """Layout of one route-matrix block inside the segment."""
+
+    offset: int
+    rows: int
+    route_offsets: Tuple[int, ...]
+    column_route_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Layout of one R-tree's preorder packed-box region."""
+
+    key: str  # "route" or "transition"
+    offset: int
+    rows: int
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable description of a published arena (name + layout table).
+
+    The handle is all a worker needs to attach; it is O(routes + tree
+    metadata) — the float payload itself never travels through a pickle.
+    """
+
+    name: str
+    nbytes: int
+    route_version: int
+    transition_version: int
+    blocks: Tuple[BlockSpec, ...]
+    trees: Tuple[TreeSpec, ...]
+
+
+# ----------------------------------------------------------------------
+# Publishing (parent side)
+# ----------------------------------------------------------------------
+class DatasetArena:
+    """One published shared-memory segment, owned by the publishing process.
+
+    Destroy it with :meth:`close` (idempotent); garbage collection and
+    interpreter teardown are covered by a ``weakref.finalize`` hook, and a
+    hard crash of the owner by the multiprocessing resource tracker.
+    """
+
+    def __init__(self, shm, handle: ArenaHandle):
+        self._shm = shm
+        self.handle = handle
+        self._finalizer = weakref.finalize(
+            self, _destroy_segment, shm, handle.name, os.getpid()
+        )
+        _ACTIVE[handle.name] = self._finalizer
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent, safe to call twice)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "DatasetArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{self.nbytes} bytes"
+        return f"DatasetArena(name={self.name!r}, {state})"
+
+
+def _destroy_segment(shm, name: str, owner_pid: int) -> None:
+    """Close the mapping and, in the owning process only, unlink the segment.
+
+    A forked worker inherits the parent's arena objects; if one of those
+    copies were finalized in the child it must never ``unlink`` a segment
+    the parent still serves from — hence the pid guard.
+    """
+    _ACTIVE.pop(name, None)
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover - BufferError etc.; unlink anyway
+        pass
+    if os.getpid() == owner_pid:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - platform-specific teardown
+            pass
+
+
+def _walk_nodes(tree) -> Iterator[object]:
+    """Deterministic preorder over a tree's nodes (identical on both sides
+    of a pickle, which is what lets attach recover the layout without any
+    per-node metadata in the handle)."""
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(reversed(node.children))
+
+
+def _tree_box_rows(tree) -> int:
+    """Total packed-box rows of a tree: every node contributes one row per
+    direct child (leaf entries are degenerate boxes)."""
+    return sum(len(node.children) for node in _walk_nodes(tree))
+
+
+def publish_arena(
+    context: ExecutionContext,
+    min_bytes: Optional[int] = None,
+    force: bool = False,
+) -> Optional[DatasetArena]:
+    """Pack the context's derived arrays into a shared segment.
+
+    Returns ``None`` — leaving the pickle-and-rebuild path in charge — when
+    numpy or ``shared_memory`` is unavailable, arenas are disabled via
+    ``RKNNT_ARENA=0``, the packed payload is below the auto-mode threshold,
+    or the platform refuses the segment (e.g. an unwritable ``/dev/shm``).
+    ``force=True`` (an explicit per-executor ``use_arena=True``) overrides
+    the environment kill-switch and the size threshold — an explicit caller
+    choice always wins over ambient configuration; only a genuinely
+    impossible arena (no numpy / no shared memory) still returns ``None``.
+    """
+    enabled = True if force else arena_enabled()
+    if enabled is False or _shared_memory is None or not kernels.numpy_available():
+        return None
+    if min_bytes is None:
+        min_bytes = arena_min_bytes()
+
+    matrix = context.route_matrix()
+    route_tree = context.route_index.tree
+    transition_tree = context.transition_index.tree
+    tree_rows = {
+        "route": _tree_box_rows(route_tree),
+        "transition": _tree_box_rows(transition_tree),
+    }
+    total = sum(len(block.points) * _POINT_ROW_BYTES for block in matrix.blocks)
+    total += sum(rows * _BOX_ROW_BYTES for rows in tree_rows.values())
+    if total == 0 or (enabled is not True and total < min_bytes):
+        return None
+
+    try:
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+    except OSError:  # pragma: no cover - no usable shared-memory backing
+        return None
+    try:
+        offset = 0
+        blocks: List[BlockSpec] = []
+        for block in matrix.blocks:
+            spec = BlockSpec(
+                offset=offset,
+                rows=len(block.points),
+                route_offsets=tuple(block.offsets),
+                column_route_ids=tuple(block.column_route_ids),
+            )
+            offset = kernels.write_f64(shm.buf, offset, block.points)
+            blocks.append(spec)
+        trees: List[TreeSpec] = []
+        for key, tree in (("route", route_tree), ("transition", transition_tree)):
+            start = offset
+            for node in _walk_nodes(tree):
+                if node.children:
+                    offset = kernels.write_f64(
+                        shm.buf, offset, node.packed_child_boxes()
+                    )
+            trees.append(TreeSpec(key=key, offset=start, rows=tree_rows[key]))
+            assert offset - start == tree_rows[key] * _BOX_ROW_BYTES
+        handle = ArenaHandle(
+            name=shm.name,
+            nbytes=total,
+            route_version=context.route_index.version,
+            transition_version=context.transition_index.version,
+            blocks=tuple(blocks),
+            trees=tuple(trees),
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return DatasetArena(shm, handle)
+
+
+# ----------------------------------------------------------------------
+# Attaching (worker side)
+# ----------------------------------------------------------------------
+class AttachedArena:
+    """A worker-side attachment: the open segment plus its installed views.
+
+    The worker keeps this object alive for its whole life (module global in
+    :mod:`repro.engine.parallel`) so the mapping outlives every view handed
+    to the engine.  It never unlinks — only the publishing parent does.
+    """
+
+    def __init__(self, shm):
+        self._shm = shm
+
+    def close(self) -> None:  # pragma: no cover - exercised at process exit
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live views still alias the mapping; the OS reclaims it at
+            # process exit, which is the only time workers detach anyway.
+            pass
+
+
+def _attach_segment(name: str):
+    """Open an existing segment without adopting cleanup responsibility.
+
+    On Python ≥ 3.13 ``track=False`` says exactly that.  On older
+    interpreters attaching re-registers the name with the resource
+    tracker; our attachers are always *children of the publisher* (pool
+    workers) or the publisher itself, which share one tracker process —
+    there the duplicate registration is a set-level no-op and only the
+    publisher's ``unlink`` ever unregisters, so no workaround is needed
+    (and the classic ``unregister``-after-attach hack would wrongly erase
+    the publisher's own crash-cleanup registration).
+    """
+    assert _shared_memory is not None
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return _shared_memory.SharedMemory(name=name)
+
+
+def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedArena:
+    """Attach to a published arena and install its views into ``context``.
+
+    Installs the route matrix (read-only shared views) and pre-populates
+    the packed-box cache of every RR-/TR-tree node.  Raises on any layout
+    mismatch — callers treat an attach failure as "no arena" and fall back
+    to the private rebuild path, never to wrong answers.
+
+    The returned attachment is also stored on the context
+    (``_arena_attachment``), pinning the mapping for as long as the context
+    — whose caches hold views into it — is alive; dropping the return value
+    is therefore safe.
+    """
+    if _shared_memory is None or not kernels.numpy_available():
+        raise RuntimeError("shared-memory arenas need numpy and shared_memory")
+    shm = _attach_segment(handle.name)
+    try:
+        blocks = []
+        for spec in handle.blocks:
+            points = kernels.view_f64(shm.buf, spec.offset, spec.rows, 2)
+            blocks.append(
+                RouteMatrixBlock(
+                    points, list(spec.route_offsets), list(spec.column_route_ids)
+                )
+            )
+        context.install_route_matrix(RouteMatrix(blocks), handle.route_version)
+        trees = {
+            "route": context.route_index.tree,
+            "transition": context.transition_index.tree,
+        }
+        for spec in handle.trees:
+            offset = spec.offset
+            for node in _walk_nodes(trees[spec.key]):
+                rows = len(node.children)
+                if rows:
+                    node.packed_boxes = kernels.view_f64(shm.buf, offset, rows, 4)
+                    offset += rows * _BOX_ROW_BYTES
+            if offset - spec.offset != spec.rows * _BOX_ROW_BYTES:
+                raise RuntimeError(
+                    f"arena layout mismatch on the {spec.key} tree: "
+                    f"walked {offset - spec.offset} bytes, "
+                    f"published {spec.rows * _BOX_ROW_BYTES}"
+                )
+    except BaseException:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - partial installs keep views
+            pass
+        raise
+    attachment = AttachedArena(shm)
+    context._arena_attachment = attachment
+    return attachment

@@ -185,6 +185,11 @@ class ExecutionContext:
         self.transition_index = transition_index
         self._route_matrix: Optional[RouteMatrix] = None
         self._route_matrix_version = -1
+        #: Keeps a shared-memory arena attachment (and hence its mapping)
+        #: alive for as long as this context — whose route matrix and tree
+        #: caches may hold views into the segment — is alive.  Set by
+        #: :func:`repro.engine.arena.attach_arena`, never pickled.
+        self._arena_attachment: Optional[object] = None
         self._subqueries: Dict[SubqueryKey, ConfirmedMap] = {}
         self._subquery_versions: Tuple[int, int] = (-1, -1)
         #: Cache statistics (useful for benchmark reporting).
@@ -217,6 +222,20 @@ class ExecutionContext:
             self._route_matrix = self._build_route_matrix()
             self._route_matrix_version = version
         return self._route_matrix
+
+    def install_route_matrix(self, matrix: RouteMatrix, version: int) -> None:
+        """Install an externally built route matrix (shared-memory attach).
+
+        Used by :mod:`repro.engine.arena` when a worker attaches to a
+        published dataset arena: the blocks then hold read-only views of the
+        shared segment instead of privately rebuilt arrays.  The matrix is
+        tagged with the route-index ``version`` it was built against, so the
+        normal version guard still applies — if the routes churn afterwards,
+        the context silently falls back to a private rebuild (shared views
+        are never written to).
+        """
+        self._route_matrix = matrix
+        self._route_matrix_version = version
 
     def _build_route_matrix(self) -> RouteMatrix:
         excluded = self.route_index.excluded_route_ids
@@ -382,6 +401,7 @@ class ExecutionContext:
         state = self.__dict__.copy()
         state["_route_matrix"] = None
         state["_route_matrix_version"] = -1
+        state["_arena_attachment"] = None
         state["_subqueries"] = {}
         state["_subquery_versions"] = (-1, -1)
         state["subquery_hits"] = 0

@@ -69,7 +69,6 @@ from repro.engine.executor import QueryExecutor
 from repro.engine.plan import QueryPlan
 from repro.geometry.bbox import BoundingBox
 from repro.index.transition_index import (
-    DELTA_DELETE,
     DELTA_INSERT,
     DESTINATION,
     ORIGIN,
@@ -235,6 +234,10 @@ class Subscription:
                 confirmed.setdefault(transition_id, set()).update(endpoints)
             self.query_stats.merge(executor.stats)
             self._executors.append((sub, executor))
+        self._finish_rebuild(confirmed)
+
+    def _finish_rebuild(self, confirmed: Dict[int, Set[str]]) -> None:
+        """Install a rebuilt confirmed map and re-derive the dependent state."""
         self._confirmed = confirmed
         self._margins = {}
         self._result_ids = {
@@ -244,6 +247,61 @@ class Subscription:
         }
         self._route_version = self.context.route_index.version
         self._transition_version = self.context.transition_index.version
+
+    def is_stale(self) -> bool:
+        """True when the indexes moved since the last (re)build — the next
+        access (or :meth:`refresh`) will trigger a scoped re-filter."""
+        return self.active and (
+            self._route_version != self.context.route_index.version
+            or self._transition_version != self.context.transition_index.version
+        )
+
+    def rebuild_job(self):
+        """The pool job describing this subscription's re-filter.
+
+        Shape consumed by :meth:`repro.engine.parallel.ShardedExecutor
+        .run_standing`: ``(sub-queries, k, plan, excluded route ids)``.
+        """
+        return (self._sub_queries(), self.k, self.plan, self.excluded)
+
+    def install_rebuild(self, parts) -> Optional[ResultDelta]:
+        """Install a pool-computed re-filter (see :meth:`rebuild_job`).
+
+        ``parts`` holds one ``(confirmed map, stats, filter set)`` tuple per
+        sub-query, computed by a pool worker against the same index state —
+        the retained executors are reconstructed around the shipped filter
+        sets, so the O(filter) insert test behaves exactly as after a local
+        :meth:`refresh`.  Emits the same ``"rebuild"`` delta a local
+        re-filter would.
+        """
+        if not self.active:
+            return None
+        old_ids = set(self._result_ids)
+        self._executors = []
+        confirmed: Dict[int, Set[str]] = {}
+        for sub, (sub_confirmed, stats, filter_set) in zip(
+            self._sub_queries(), parts
+        ):
+            executor = QueryExecutor(
+                self.context,
+                self.k,
+                use_voronoi=self.plan.use_voronoi,
+                exclude_route_ids=self.excluded,
+                backend=self.plan.backend,
+                filter_traversal=self.plan.filter_traversal,
+            )
+            executor.filter_set = filter_set
+            for transition_id, endpoints in sub_confirmed.items():
+                confirmed.setdefault(transition_id, set()).update(endpoints)
+            self.query_stats.merge(stats)
+            self._executors.append((sub, executor))
+        self._finish_rebuild(confirmed)
+        self.delta_stats.rebuilds += 1
+        return self._emit(
+            added=self._result_ids - old_ids,
+            removed=old_ids - self._result_ids,
+            cause=CAUSE_REBUILD,
+        )
 
     def refresh(self) -> Optional[ResultDelta]:
         """Re-filter if the indexes moved under the subscription.
@@ -523,6 +581,40 @@ class ContinuousRkNNT:
         """Cancel every subscription and detach from the index."""
         for subscription in list(self._subscriptions):
             self.unwatch(subscription)
+
+    # ------------------------------------------------------------------
+    # Bulk re-validation (serving pool integration)
+    # ------------------------------------------------------------------
+    def refresh_all(self, pool=None) -> List[ResultDelta]:
+        """Re-filter every stale subscription now, optionally via a pool.
+
+        With ``pool`` (a live :class:`~repro.engine.parallel
+        .ShardedExecutor`, normally the processor's serving pool) the
+        stale subscriptions' re-filters run sharded across the pool's
+        workers — after a route-churn burst this re-validates a whole
+        standing-query population in parallel — and the shipped filter
+        structures are re-installed per subscription.  Without a pool each
+        stale subscription refreshes serially, exactly as its next lazy
+        access would.  Returns the non-empty ``"rebuild"`` deltas emitted.
+        """
+        stale = [
+            subscription
+            for subscription in self._subscriptions
+            if subscription.is_stale()
+        ]
+        deltas: List[ResultDelta] = []
+        if pool is not None and stale:
+            jobs = [subscription.rebuild_job() for subscription in stale]
+            for subscription, parts in zip(stale, pool.run_standing(jobs)):
+                delta = subscription.install_rebuild(parts)
+                if delta is not None:
+                    deltas.append(delta)
+        else:
+            for subscription in stale:
+                delta = subscription.refresh()
+                if delta is not None:
+                    deltas.append(delta)
+        return deltas
 
     def __len__(self) -> int:
         return len(self._subscriptions)

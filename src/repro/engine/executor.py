@@ -308,8 +308,7 @@ class QueryExecutor:
             for child, distance in zip(node.children, distances):
                 heapq.heappush(heap, (float(distance), next(counter), child, -1))
             return
-        boxes = [child.bbox.as_tuple() for child in node.children]
-        mask = self._filtered_boxes(boxes, query, normalised)
+        mask = self._filtered_boxes(self._node_boxes(node), query, normalised)
         generation = self.filter_set.generation
         for child, distance, filtered in zip(node.children, distances, mask):
             assert isinstance(child, RTreeNode)
@@ -351,9 +350,7 @@ class QueryExecutor:
         while stack:
             node = stack.pop()
             if node.is_leaf:
-                points = node.leaf_point_tuples()
-                boxes = [(x, y, x, y) for x, y in points]
-                mask = self._filtered_boxes(boxes, query, normalised)
+                mask = self._filtered_boxes(self._node_boxes(node), query, normalised)
                 for entry, filtered in zip(node.children, mask):
                     if filtered:
                         continue
@@ -361,8 +358,7 @@ class QueryExecutor:
                     for tag in entry.payload:
                         candidates.append((entry.point, tag))
             else:
-                boxes = [child.bbox.as_tuple() for child in node.children]
-                mask = self._filtered_boxes(boxes, query, normalised)
+                mask = self._filtered_boxes(self._node_boxes(node), query, normalised)
                 for child, filtered in zip(node.children, mask):
                     assert isinstance(child, RTreeNode)
                     # Every examined node counts as visited (pruned ones
@@ -385,6 +381,19 @@ class QueryExecutor:
             for box in boxes
         ]
 
+    def _node_boxes(self, node: RTreeNode):
+        """Child boxes of ``node`` in the backend's block representation.
+
+        The numpy backend consumes the node's cached packed array (leaf
+        entries contribute degenerate boxes, exactly what the pruning tests
+        expect; shared-memory arena workers get these caches pre-attached).
+        The scalar backend keeps plain tuples so no numpy machinery is
+        touched on its path.
+        """
+        if self.backend == BACKEND_NUMPY:
+            return node.packed_child_boxes()
+        return node.child_box_tuples()
+
     def _pack_query(self, normalised):
         """Query points in the representation the backend consumes.
 
@@ -402,8 +411,9 @@ class QueryExecutor:
         the scalar backend walks the children exactly as the seed did.
         """
         if self.backend == BACKEND_NUMPY:
-            boxes = kernels.pack_boxes(node.child_box_tuples())
-            return kernels.boxes_min_dist_sq_to_query(boxes, query)
+            return kernels.boxes_min_dist_sq_to_query(
+                node.packed_child_boxes(), query
+            )
         distances = []
         for child in node.children:
             if isinstance(child, RTreeNode):

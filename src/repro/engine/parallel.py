@@ -1,4 +1,4 @@
-"""Parallel sharded execution of RkNNT batch workloads.
+"""Parallel sharded execution of RkNNT workloads over a worker pool.
 
 The single-process batch path (:meth:`repro.core.rknnt.RkNNTProcessor
 .query_batch`) answers queries one after another against a shared
@@ -12,13 +12,34 @@ distributes shards across a :class:`concurrent.futures.ProcessPoolExecutor`:
   stripped — see :meth:`~repro.engine.context.ExecutionContext.__getstate__`)
   and shipped to each worker through the pool's *initializer*, so per-query
   messages carry only the query itself, never the dataset;
-* each worker owns a private context whose route matrix and sub-query cache
-  are rebuilt lazily on first use and then reused for every query the
-  worker answers;
+* alongside the pickle the parent publishes a **shared-memory dataset
+  arena** (:mod:`repro.engine.arena`) holding the flattened route matrix
+  and the packed per-node box blocks of both R-trees; a worker *attaches*
+  read-only views in O(1) instead of rebuilding those arrays from the
+  unpickled objects, and all workers share one physical copy;
 * shards are round-trip tagged with their position, so results always come
   back in workload order regardless of completion order — ``query_batch``
   output is deterministic and element-wise identical to the serial path
   (``tests/test_parallel.py`` asserts this against the brute-force oracle).
+
+**Serving (persistent) use.**  An executor is reusable across :meth:`run`
+calls and is what :meth:`repro.core.rknnt.RkNNTProcessor.serving_pool`
+keeps alive between batches.  Reuse is safe under dynamic updates:
+
+* *transition churn* is forwarded to the workers as the typed
+  :class:`~repro.index.transition_index.TransitionDelta` stream the parent
+  records from the index.  Each task carries the (tiny) tail of deltas the
+  worker may not have applied yet; the worker replays them onto its
+  replica, reproducing the parent's version counters exactly, and its own
+  version-guarded caches invalidate (or delta-patch) instead of being
+  rebuilt from scratch;
+* *route churn* changes the geometry every cached structure was built
+  against, so the pool is reseeded (fresh pickle + fresh arena) — route
+  mutations are rare on the serving path, transition churn is the common
+  case;
+* a worker *crash* mid-query breaks the pool; :meth:`run` reseeds once and
+  replays the whole workload (shard tasks are pure + idempotent), so a
+  single crash costs latency, never answers.
 
 Worker processes are started with the ``fork`` method where available (the
 context transfer is then practically free for the OS) and ``spawn``
@@ -34,22 +55,39 @@ import multiprocessing
 import os
 import pickle
 import sys
-from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
+from repro.engine import arena as arena_module
 from repro.engine.context import ExecutionContext
-from repro.engine.executor import execute
+from repro.engine.executor import QueryExecutor, execute
 from repro.engine.plan import QueryPlan
+from repro.index.transition_index import DELTA_INSERT, TransitionDelta
 
 #: One job of a sharded workload: normalised query points plus the route ids
 #: excluded for that query (per-query self-exclusion happens in the parent,
 #: exactly as the serial path does it).
 ShardJob = Tuple[Sequence[Tuple[float, float]], FrozenSet[int]]
 
-#: A shard shipped to a worker: position of its first job in the workload,
-#: the jobs themselves, and the query parameters shared by the whole batch.
-Shard = Tuple[int, List[ShardJob], int, QueryPlan, Semantics]
+#: Transition-churn sync attached to every task: the transition-index
+#: version the worker must reach, plus the delta tail that takes it there.
+Sync = Optional[Tuple[int, Tuple[TransitionDelta, ...]]]
+
+#: Pending sync deltas retained while a pool is alive.  A longer backlog
+#: means per-task sync payloads (and worker replay) stop being cheap, so
+#: past this limit the executor reseeds the pool instead.
+SYNC_DELTA_LIMIT = 4096
 
 # ----------------------------------------------------------------------
 # Worker-process side
@@ -58,25 +96,106 @@ Shard = Tuple[int, List[ShardJob], int, QueryPlan, Semantics]
 #: initializer.  Module-level because ProcessPoolExecutor tasks can only
 #: reach state through module globals.
 _WORKER_CONTEXT: Optional[ExecutionContext] = None
+#: The worker's arena attachment (kept alive so the shared views stay
+#: mapped for the life of the worker); ``None`` on the pickle-only path.
+_WORKER_ARENA = None
 
 
-def _initialize_worker(context_payload: bytes) -> None:
-    """Pool initializer: unpickle the shared context exactly once per worker."""
-    global _WORKER_CONTEXT
+def _initialize_worker(context_payload: bytes, arena_handle) -> None:
+    """Pool initializer: unpickle the shared context exactly once per worker
+    and attach the dataset arena when one was published."""
+    global _WORKER_CONTEXT, _WORKER_ARENA
     _WORKER_CONTEXT = pickle.loads(context_payload)
+    _WORKER_ARENA = None
+    if arena_handle is not None:
+        try:
+            _WORKER_ARENA = arena_module.attach_arena(arena_handle, _WORKER_CONTEXT)
+        except Exception:
+            # Attach failures (segment vanished, layout mismatch) degrade to
+            # the private-rebuild path — never to wrong answers.
+            _WORKER_ARENA = None
 
 
-def _run_shard(shard: Shard) -> Tuple[int, List[RkNNTResult]]:
-    """Answer one shard of the workload against the worker's context."""
-    base_index, jobs, k, plan, semantics = shard
+def _worker_context() -> ExecutionContext:
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - initializer contract violation
-        raise RuntimeError("shard worker used before initialization")
+        raise RuntimeError("pool worker used before initialization")
+    return context
+
+
+def _apply_sync(context: ExecutionContext, sync: Sync) -> None:
+    """Replay the parent's transition churn onto the worker's replica.
+
+    Deltas the worker already applied (version ≤ its index version) are
+    skipped, so the same sync payload is idempotent across the tasks of one
+    run and across runs.  Replaying through the index's own mutation API
+    reproduces the parent's version counters exactly and lets the worker's
+    version-guarded caches invalidate — or delta-patch — like any other
+    consumer of the stream.
+    """
+    if sync is None:
+        return
+    target, deltas = sync
+    index = context.transition_index
+    if index.version >= target:
+        return
+    for delta in deltas:
+        if delta.version <= index.version:
+            continue
+        if delta.version != index.version + 1:  # pragma: no cover - guarded
+            raise RuntimeError(
+                f"worker sync gap: at version {index.version}, "
+                f"next delta is {delta.version}"
+            )
+        transition = delta.transition
+        if delta.kind == DELTA_INSERT:
+            index.transitions.add(transition)
+            index.add_transition(transition)
+        else:
+            index.transitions.remove(transition.transition_id)
+            index.remove_transition(transition)
+    if index.version != target:  # pragma: no cover - guarded by parent log
+        raise RuntimeError(
+            f"worker sync fell short: reached version {index.version}, "
+            f"target {target}"
+        )
+
+
+def _run_shard(task) -> Tuple[int, List[RkNNTResult]]:
+    """Answer one shard of a batch workload against the worker's context."""
+    base_index, (jobs, k, plan, semantics), sync = task
+    context = _worker_context()
+    _apply_sync(context, sync)
     results = [
         execute(context, query_points, k, plan, semantics, exclude_route_ids=excluded)
         for query_points, excluded in jobs
     ]
     return base_index, results
+
+
+def _run_standing(task):
+    """Rebuild one standing query: run its sub-queries and return, per
+    sub-query, ``(confirmed map, stats, filter set)`` — everything the
+    parent-side :class:`~repro.engine.continuous.Subscription` needs to
+    re-install its retained filter structures without re-running locally."""
+    base_index, (sub_queries, k, plan, excluded), sync = task
+    context = _worker_context()
+    _apply_sync(context, sync)
+    parts = []
+    for sub in sub_queries:
+        executor = QueryExecutor(
+            context,
+            k,
+            use_voronoi=plan.use_voronoi,
+            exclude_route_ids=excluded,
+            backend=plan.backend,
+            filter_traversal=plan.filter_traversal,
+        )
+        confirmed = executor.run(sub)
+        filter_set = executor.filter_set
+        filter_set._packed = None  # derived arrays; the parent repacks lazily
+        parts.append((confirmed, executor.stats, filter_set))
+    return base_index, parts
 
 
 # ----------------------------------------------------------------------
@@ -128,13 +247,14 @@ def _preferred_start_method() -> str:
 
 
 class ShardedExecutor:
-    """Shards batch workloads across a process pool, one context per worker.
+    """Shards RkNNT workloads across a process pool, one context per worker.
 
     Parameters
     ----------
     context:
         The execution context to replicate into every worker.  Its derived
-        caches are never serialised; each worker rebuilds its own.
+        caches are never serialised; workers attach them from the shared
+        arena (or rebuild privately on the fallback path).
     workers:
         Number of worker processes; ``None`` selects the available CPU
         count.  ``0`` is rejected — it means "in-process" on every other
@@ -146,10 +266,17 @@ class ShardedExecutor:
     start_method:
         Multiprocessing start method override (``fork`` where available by
         default; the context is shipped explicitly either way).
+    use_arena:
+        ``True`` / ``False`` forces the shared-memory arena on or off for
+        this executor; ``None`` (default) defers to the ``RKNNT_ARENA`` /
+        ``RKNNT_ARENA_MIN_BYTES`` environment knobs.
 
     The executor owns one pool across all of its :meth:`run` calls — reuse
-    it (it is a context manager) when issuing several batches, so workers
-    keep their contexts and warmed caches between batches.
+    it (it is a context manager, and the processor's ``serving_pool`` keeps
+    one alive) when issuing several batches, so workers keep their contexts,
+    arena attachments and warmed caches between batches.  Dynamic updates
+    never produce stale answers: transition churn is delta-synced into the
+    workers, route churn reseeds the pool.
     """
 
     def __init__(
@@ -158,6 +285,7 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        use_arena: Optional[bool] = None,
     ):
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -165,8 +293,18 @@ class ShardedExecutor:
         self.workers = resolve_worker_count(workers)
         self.chunk_size = chunk_size
         self.start_method = start_method or _preferred_start_method()
+        self.use_arena = use_arena
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_versions: Tuple[int, int] = (-1, -1)
+        self._arena: Optional[arena_module.DatasetArena] = None
+        self._sync_log: List[TransitionDelta] = []
+        self._sync_overflow = False
+        self._listener_attached = False
+        #: Pools spawned over this executor's lifetime (1 = never reseeded);
+        #: the serving tests and benchmark read it to prove reuse.
+        self.pools_spawned = 0
+        #: Worker-crash recoveries performed by :meth:`run`.
+        self.crash_recoveries = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -177,31 +315,96 @@ class ShardedExecutor:
             self.context.transition_index.version,
         )
 
+    def _on_transition_delta(self, delta: TransitionDelta) -> None:
+        """Record parent-side transition churn for worker sync."""
+        if self._sync_overflow:
+            return
+        self._sync_log.append(delta)
+        if len(self._sync_log) > SYNC_DELTA_LIMIT:
+            self._sync_overflow = True
+            self._sync_log.clear()
+
+    def _attach_listener(self) -> None:
+        if not self._listener_attached:
+            self.context.transition_index.add_listener(self._on_transition_delta)
+            self._listener_attached = True
+
+    def _detach_listener(self) -> None:
+        if self._listener_attached:
+            self.context.transition_index.remove_listener(self._on_transition_delta)
+            self._listener_attached = False
+
+    def _arena_enabled(self) -> bool:
+        if self.use_arena is not None:
+            return self.use_arena
+        return arena_module.arena_enabled() is not False
+
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        versions = self._context_versions()
-        if self._pool is not None and versions != self._pool_versions:
-            # The indexes changed since the workers were seeded (dynamic
-            # route/transition updates bump the version counters): the
-            # worker snapshots are stale, so rebuild the pool.  Same
-            # guarantee as the context's own version-guarded caches —
-            # holding a ShardedExecutor never produces stale answers.
+        route_version = self.context.route_index.version
+        if self._pool is not None and (
+            route_version != self._pool_versions[0] or self._sync_overflow
+        ):
+            # Route mutations change the geometry every worker-side cache
+            # and the arena were built against, and an overflowed sync log
+            # can no longer prove delta coverage: reseed.  Transition-only
+            # churn never lands here — it is delta-synced per task.
             self.close()
         if self._pool is None:
+            # Listen *before* pickling: a delta recorded here and also
+            # baked into the pickle is harmless (workers skip already-
+            # applied versions), a delta missed entirely would not be.
+            self._attach_listener()
+            self._sync_log = []
+            self._sync_overflow = False
+            if self._arena_enabled():
+                forced = self.use_arena is True
+                self._arena = arena_module.publish_arena(
+                    self.context,
+                    min_bytes=0 if forced else None,
+                    force=forced,
+                )
             payload = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
+            handle = self._arena.handle if self._arena is not None else None
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_initialize_worker,
-                initargs=(payload,),
+                initargs=(payload, handle),
             )
-            self._pool_versions = versions
+            self._pool_versions = (route_version, self.context.transition_index.version)
+            self.pools_spawned += 1
         return self._pool
 
+    def _current_sync(self) -> Sync:
+        """Sync payload bringing any worker up to the current transition
+        version (``None`` when the pool seed is already current)."""
+        target = self.context.transition_index.version
+        if target == self._pool_versions[1] and not self._sync_log:
+            return None
+        return (target, tuple(self._sync_log))
+
+    @property
+    def arena(self) -> Optional[arena_module.DatasetArena]:
+        """The currently published dataset arena (``None`` off/fallback)."""
+        return self._arena
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the pool down and destroy the published arena (idempotent).
+
+        Unlinking the segment while late workers still map it is safe: the
+        OS keeps the backing memory alive until the last detach, and new
+        pools publish a fresh segment.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._detach_listener()
+        self._sync_log = []
+        self._sync_overflow = False
+        self._pool_versions = (-1, -1)
 
     def __enter__(self) -> "ShardedExecutor":
         return self
@@ -212,9 +415,9 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _shards(
+    def _shard_payloads(
         self, jobs: List[ShardJob], k: int, plan: QueryPlan, semantics: Semantics
-    ) -> List[Shard]:
+    ) -> List[Tuple[int, Any]]:
         if self.chunk_size is not None:
             chunk = self.chunk_size
         else:
@@ -222,9 +425,38 @@ class ShardedExecutor:
             # expensive queries does not leave the other workers idle.
             chunk = max(1, math.ceil(len(jobs) / (self.workers * 4)))
         return [
-            (start, jobs[start : start + chunk], k, plan, semantics)
+            (start, (jobs[start : start + chunk], k, plan, semantics))
             for start in range(0, len(jobs), chunk)
         ]
+
+    def _submit_all(
+        self, fn: Callable, payloads: List[Tuple[int, Any]]
+    ) -> List[Tuple[int, Any]]:
+        """Run every ``(base_index, payload)`` task, surviving one crash.
+
+        A worker dying mid-task (OOM kill, segfault, ``os._exit``) breaks
+        the whole ``ProcessPoolExecutor``; tasks are pure and sync replay is
+        idempotent, so the executor reseeds once and replays the workload.
+        A second consecutive break propagates — that is a systemic failure,
+        not a stray crash.
+        """
+        for attempt in (0, 1):
+            pool = self._ensure_pool()
+            sync = self._current_sync()
+            try:
+                # A pool broken by an earlier crash raises at submit time,
+                # one broken mid-run raises from result(): both recover.
+                futures = [
+                    pool.submit(fn, (base_index, payload, sync))
+                    for base_index, payload in payloads
+                ]
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                self.close()
+                if attempt:
+                    raise
+                self.crash_recoveries += 1
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def run(
         self,
@@ -246,21 +478,39 @@ class ShardedExecutor:
         job_list = list(jobs)
         if not job_list:
             return []
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_shard, shard)
-            for shard in self._shards(job_list, k, plan, semantics)
-        ]
+        payloads = self._shard_payloads(job_list, k, plan, semantics)
         results: List[Optional[RkNNTResult]] = [None] * len(job_list)
-        for future in concurrent.futures.as_completed(futures):
-            base_index, shard_results = future.result()
+        for base_index, shard_results in self._submit_all(_run_shard, payloads):
             results[base_index : base_index + len(shard_results)] = shard_results
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
+    def run_standing(self, jobs: Sequence[Tuple[Any, ...]]) -> List[Any]:
+        """Rebuild a batch of standing queries in the pool, workload-ordered.
+
+        Each job is ``(sub_queries, k, plan, excluded)`` — one per
+        subscription; the per-subscription result is a list of
+        ``(confirmed map, stats, filter set)`` tuples ready for
+        :meth:`repro.engine.continuous.Subscription` to re-install.  One
+        task per subscription: standing rebuilds are heavyweight, so load
+        balance beats batching.
+        """
+        job_list = list(jobs)
+        if not job_list:
+            return []
+        payloads = [
+            (index, (sub_queries, k, plan.resolved(), excluded))
+            for index, (sub_queries, k, plan, excluded) in enumerate(job_list)
+        ]
+        results: List[Any] = [None] * len(job_list)
+        for base_index, parts in self._submit_all(_run_standing, payloads):
+            results[base_index] = parts
+        return results
+
     def __repr__(self) -> str:
         state = "open" if self._pool is not None else "idle"
+        arena = self._arena.name if self._arena is not None else None
         return (
             f"ShardedExecutor(workers={self.workers}, "
-            f"start_method={self.start_method!r}, {state})"
+            f"start_method={self.start_method!r}, arena={arena!r}, {state})"
         )

@@ -38,6 +38,7 @@ from typing import (
     Union,
 )
 
+from repro.geometry import kernels
 from repro.geometry.bbox import BoundingBox
 
 __all__ = ["RTree", "RTreeNode", "RTreeEntry"]
@@ -75,7 +76,14 @@ class RTreeEntry:
 class RTreeNode:
     """An internal or leaf node of the R-tree."""
 
-    __slots__ = ("is_leaf", "children", "bbox", "parent", "payload_union")
+    __slots__ = (
+        "is_leaf",
+        "children",
+        "bbox",
+        "parent",
+        "payload_union",
+        "packed_boxes",
+    )
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
@@ -85,12 +93,50 @@ class RTreeNode:
         self.parent: Optional["RTreeNode"] = None
         # Union of the payload sets of every entry below this node (NList).
         self.payload_union: FrozenSet[Any] = frozenset()
+        #: Lazily cached packed array of :meth:`child_box_tuples` (see
+        #: :meth:`packed_child_boxes`).  Derived state: dropped whenever the
+        #: child set changes (every mutation path recomputes the bbox) and
+        #: never pickled.  The shared-memory arena pre-populates it with
+        #: read-only views so attached workers skip the packing work.
+        self.packed_boxes: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle everything but the derived packed-box cache.
+
+        The cache may hold numpy arrays (or shared-memory views, which must
+        never cross a process boundary through a pickle); a receiver repacks
+        or re-attaches its own.
+        """
+        return (
+            self.is_leaf,
+            self.children,
+            self.bbox,
+            self.parent,
+            self.payload_union,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.is_leaf,
+            self.children,
+            self.bbox,
+            self.parent,
+            self.payload_union,
+        ) = state
+        self.packed_boxes = None
 
     # ------------------------------------------------------------------
     # Maintenance helpers
     # ------------------------------------------------------------------
     def recompute_bbox(self) -> None:
         """Recompute this node's bounding box from its children."""
+        # Every mutation that touches the child set runs through here (or
+        # through a split, which also ends in recompute calls), so this is
+        # the single invalidation point of the packed-box cache.
+        self.packed_boxes = None
         if not self.children:
             self.bbox = None
             return
@@ -138,6 +184,23 @@ class RTreeNode:
                 x, y = child.point
                 boxes.append((x, y, x, y))
         return boxes
+
+    def packed_child_boxes(self):
+        """:meth:`child_box_tuples` packed for the vectorized kernels, cached.
+
+        The batched execution engine scores / filter-tests all children of a
+        node per kernel call; packing the same child boxes on every visit was
+        pure overhead, so the packed array (``kernels.pack_boxes`` output —
+        a numpy array or a plain tuple list, depending on the backend) is
+        cached on the node until its child set changes.  Workers attached to
+        a shared-memory arena receive these caches pre-populated with
+        read-only views instead of rebuilding them.
+        """
+        cached = self.packed_boxes
+        if cached is None:
+            cached = kernels.pack_boxes(self.child_box_tuples())
+            self.packed_boxes = cached
+        return cached
 
     def leaf_point_tuples(self) -> List[Tuple[float, float]]:
         """Points of the direct leaf entries (leaf nodes only)."""

@@ -142,17 +142,27 @@ class VertexRkNNTIndex:
     def _build_sharded(
         self, vertex_list: List[int], backend: str, workers: int
     ) -> None:
-        """Shard the per-vertex RkNNT sweep across worker processes."""
+        """Shard the per-vertex RkNNT sweep across worker processes.
+
+        A live serving pool on the processor (see
+        :meth:`repro.core.rknnt.RkNNTProcessor.serving_pool`) is reused —
+        its workers are already warm and attached to the dataset arena;
+        otherwise a per-call pool is spawned for this build only.
+        """
         from repro.engine.parallel import ShardedExecutor
 
         jobs = [
             ([tuple(self.network.position(vertex))], frozenset())
             for vertex in vertex_list
         ]
-        with ShardedExecutor(
-            self.processor.engine_context, workers=workers
-        ) as sharded:
-            results = sharded.run(jobs, self.k, self._bulk_plan(backend))
+        pool = getattr(self.processor, "active_serving_pool", None)
+        if pool is not None:
+            results = pool.run(jobs, self.k, self._bulk_plan(backend))
+        else:
+            with ShardedExecutor(
+                self.processor.engine_context, workers=workers
+            ) as sharded:
+                results = sharded.run(jobs, self.k, self._bulk_plan(backend))
         for vertex, result in zip(vertex_list, results):
             self._endpoints_by_vertex[vertex] = frozenset(
                 (transition_id, endpoint)

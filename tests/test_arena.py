@@ -1,0 +1,214 @@
+"""Shared-memory dataset arena: layout, attach, lifecycle, fallbacks.
+
+The arena is pure mechanism — publishing and attaching must never change
+an answer (the serving differential tests cover that end to end); these
+tests pin the mechanism itself: view contents equal the source arrays,
+views are read-only, segments never leak (close, double-close, garbage
+collection), thresholds and kill-switches fall back to the pickle path,
+and a stale handle degrades gracefully instead of corrupting a worker.
+"""
+
+import gc
+import pickle
+
+import pytest
+
+from repro.core.rknnt import RkNNTProcessor
+from repro.engine import arena, parallel
+from repro.engine.executor import run_stages
+from repro.engine.plan import QueryPlan
+from repro.geometry.kernels import numpy_available
+from repro.index.rtree import RTree, RTreeEntry
+
+K = 3
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="arenas require the numpy backend"
+)
+
+
+@pytest.fixture()
+def fresh_processor(mini_city, mini_transitions):
+    return RkNNTProcessor(mini_city.routes, mini_transitions)
+
+
+class TestPublishAttach:
+    @needs_numpy
+    def test_attach_reproduces_the_route_matrix_and_tree_blocks(
+        self, fresh_processor
+    ):
+        import numpy
+
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        assert published is not None
+        try:
+            clone = pickle.loads(pickle.dumps(context))
+            attached = arena.attach_arena(published.handle, clone)
+            source = context.route_matrix()
+            mirrored = clone.route_matrix()  # must be the installed one
+            assert len(mirrored.blocks) == len(source.blocks)
+            for ours, theirs in zip(source.blocks, mirrored.blocks):
+                assert numpy.array_equal(ours.points, theirs.points)
+                assert ours.offsets == theirs.offsets
+                assert ours.column_route_ids == theirs.column_route_ids
+                assert not theirs.points.flags.writeable
+            # Tree blocks: every node's packed boxes were pre-attached and
+            # equal a private repack.
+            for tree in (clone.route_index.tree, clone.transition_index.tree):
+                for node in arena._walk_nodes(tree):
+                    if not node.children:
+                        continue
+                    view = node.packed_boxes
+                    assert view is not None
+                    assert not view.flags.writeable
+                    assert numpy.array_equal(
+                        view, numpy.asarray(node.child_box_tuples())
+                    )
+            attached.close()
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_attached_context_answers_identically(self, fresh_processor):
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        plan = QueryPlan.for_method("voronoi", backend="numpy")
+        try:
+            clone = pickle.loads(pickle.dumps(context))
+            arena.attach_arena(published.handle, clone)
+            for query in ([(2.0, 2.0), (3.0, 2.5)], [(1.0, 4.0)]):
+                expected, _ = run_stages(context, query, K, plan)
+                actual, _ = run_stages(clone, query, K, plan)
+                assert actual == expected
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_worker_initializer_survives_a_stale_handle(self, fresh_processor):
+        """A segment unlinked between seed and attach degrades to the
+        private-rebuild path — never to a dead worker or wrong answers."""
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        payload = pickle.dumps(context)
+        published.close()  # handle now points at nothing
+        parallel._initialize_worker(payload, published.handle)
+        try:
+            assert parallel._WORKER_ARENA is None
+            worker_context = parallel._WORKER_CONTEXT
+            plan = QueryPlan.for_method("voronoi", backend="numpy")
+            query = [(2.0, 2.0), (3.0, 2.5)]
+            expected, _ = run_stages(context, query, K, plan)
+            actual, _ = run_stages(worker_context, query, K, plan)
+            assert actual == expected
+        finally:
+            parallel._WORKER_CONTEXT = None
+            parallel._WORKER_ARENA = None
+
+
+class TestThresholdsAndFallbacks:
+    @needs_numpy
+    def test_small_datasets_stay_on_the_pickle_path(self, fresh_processor):
+        huge = 1 << 40
+        assert arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=huge
+        ) is None
+
+    @needs_numpy
+    def test_env_kill_switch(self, fresh_processor, monkeypatch):
+        monkeypatch.setenv(arena.ARENA_ENV, "0")
+        assert arena.arena_enabled() is False
+        assert arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0
+        ) is None
+
+    @needs_numpy
+    def test_explicit_force_beats_the_env_kill_switch(
+        self, fresh_processor, monkeypatch
+    ):
+        """An explicit use_arena=True wins over ambient RKNNT_ARENA=0."""
+        monkeypatch.setenv(arena.ARENA_ENV, "0")
+        forced = arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0, force=True
+        )
+        assert forced is not None
+        forced.close()
+        with fresh_processor.serving_pool(workers=1, use_arena=True) as pool:
+            fresh_processor.query_batch([[(2.0, 2.0)]], K, workers=1)
+            assert pool.arena is not None
+
+    def test_env_knob_parsing(self, monkeypatch):
+        monkeypatch.setenv(arena.ARENA_ENV, "on")
+        assert arena.arena_enabled() is True
+        monkeypatch.setenv(arena.ARENA_ENV, "off")
+        assert arena.arena_enabled() is False
+        monkeypatch.delenv(arena.ARENA_ENV)
+        assert arena.arena_enabled() is None
+        monkeypatch.setenv(arena.ARENA_MIN_BYTES_ENV, "12345")
+        assert arena.arena_min_bytes() == 12345
+        monkeypatch.setenv(arena.ARENA_MIN_BYTES_ENV, "not-a-number")
+        assert arena.arena_min_bytes() == arena.DEFAULT_ARENA_MIN_BYTES
+
+    @pytest.mark.skipif(
+        numpy_available(), reason="covers the forced pure-python leg"
+    )
+    def test_pure_python_backend_publishes_nothing(self, fresh_processor):
+        assert arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0
+        ) is None
+
+
+class TestSegmentLifecycle:
+    @needs_numpy
+    def test_close_is_idempotent_and_tracked(self, fresh_processor):
+        published = arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0
+        )
+        name = published.name
+        assert name in arena.active_segment_names()
+        published.close()
+        assert published.closed
+        assert name not in arena.active_segment_names()
+        published.close()  # double close: no-op, no exception
+
+    @needs_numpy
+    def test_garbage_collection_destroys_the_segment(self, fresh_processor):
+        published = arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0
+        )
+        name = published.name
+        del published
+        gc.collect()
+        assert name not in arena.active_segment_names()
+        # And the segment itself is gone from the OS, not just the registry.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestPackedBoxCache:
+    def test_mutation_invalidates_the_cache(self):
+        tree = RTree(max_entries=4)
+        for index in range(6):
+            tree.insert(RTreeEntry((float(index), 0.0), frozenset({index})))
+        root = tree.root
+        packed = root.packed_child_boxes()
+        assert root.packed_boxes is packed  # cached
+        tree.insert(RTreeEntry((9.0, 9.0), frozenset({99})))
+        assert tree.root.packed_boxes is None  # dropped by the mutation
+        rebuilt = tree.root.packed_child_boxes()
+        assert len(rebuilt) == len(tree.root.children)
+
+    def test_cache_is_never_pickled(self):
+        tree = RTree(max_entries=4)
+        for index in range(10):
+            tree.insert(RTreeEntry((float(index), 1.0), frozenset({index})))
+        for node in arena._walk_nodes(tree):
+            node.packed_child_boxes()
+        clone = pickle.loads(pickle.dumps(tree))
+        for node in arena._walk_nodes(clone):
+            assert node.packed_boxes is None
+        assert [e.point for e in clone.entries()] == [
+            e.point for e in tree.entries()
+        ]
