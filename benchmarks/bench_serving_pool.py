@@ -19,6 +19,12 @@ at 1× and ``LARGE_SCALE_FACTOR``×): pool *seeding* grows with the dataset
 flat — the attach cost of a seeded worker does not scale with dataset
 size.
 
+The benchmark also measures the **reseed payload**: the byte size of the
+pickled execution context every pool (re)seed ships per worker, with the
+columnar dataset core on (the default) and off (``RKNNT_COLUMNAR=0``, the
+legacy object-graph pickles).  Both numbers join the trajectory artifact so
+payload regressions show up per PR.
+
 Acceptance bars (asserted when the machine can meaningfully show them):
 
 * with ≥ 2 usable CPUs, the persistent pool beats per-call spawn by
@@ -26,6 +32,7 @@ Acceptance bars (asserted when the machine can meaningfully show them):
 * warm dispatch latency at the large scale stays within
   ``DISPATCH_SCALE_TOLERANCE`` of the small scale (dataset-size
   independence, with generous headroom for shared-runner noise);
+* the columnar reseed payload is ≥ 2× smaller than the object-graph one;
 * zero shared-memory segments remain after teardown.
 
 Results are written as a text table, as JSON rows under
@@ -46,8 +53,32 @@ from repro.bench.parameters import DEFAULT_QUERY_LENGTH
 from repro.bench.reporting import append_trajectory, format_table, git_commit
 from repro.core.rknnt import VORONOI
 from repro.engine import arena
+from repro.engine.columnar import COLUMNAR_ENV
 from repro.engine.parallel import available_cpu_count
 from repro.geometry.kernels import numpy_available
+
+#: Required shrink of the pickled-context reseed payload: columnar columns
+#: versus the legacy object-graph pickle (``RKNNT_COLUMNAR=0``).
+PAYLOAD_SHRINK_BAR = 2.0
+
+
+def _measure_reseed_payload(context):
+    """Pickled-context bytes with the columnar core on and off."""
+    columnar_bytes = context.reseed_payload_nbytes()
+    previous = os.environ.get(COLUMNAR_ENV)
+    os.environ[COLUMNAR_ENV] = "0"
+    try:
+        object_bytes = context.reseed_payload_nbytes()
+    finally:
+        if previous is None:
+            os.environ.pop(COLUMNAR_ENV, None)
+        else:
+            os.environ[COLUMNAR_ENV] = previous
+    return {
+        "columnar_bytes": columnar_bytes,
+        "object_bytes": object_bytes,
+        "shrink": object_bytes / columnar_bytes if columnar_bytes else math.inf,
+    }
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 TRAJECTORY_PATH = os.path.join(
@@ -164,6 +195,10 @@ def test_serving_pool(benchmark, la_bundle, bench_scale, write_result):
         per_call_seconds / persistent_seconds if persistent_seconds else math.inf
     )
 
+    # Reseed payload: the pickled context a pool seed ships per worker,
+    # columnar (default) vs the legacy object-graph pickle.
+    reseed = _measure_reseed_payload(processor.engine_context)
+
     # Arena-attach scaling: seed vs warm dispatch at two dataset scales.
     small = _measure_scale(la_bundle, bench_scale)
     large_scale = dataclasses.replace(
@@ -216,7 +251,16 @@ def test_serving_pool(benchmark, la_bundle, bench_scale, write_result):
             f"{LARGE_SCALE_FACTOR:g}x the dataset)"
         ),
     )
-    write_result("serving_pool", table + "\n\n" + scale_table)
+    payload_table = format_table(
+        [
+            {"encoding": "columnar (default)", "bytes": reseed["columnar_bytes"]},
+            {"encoding": "object graph (RKNNT_COLUMNAR=0)", "bytes": reseed["object_bytes"]},
+        ],
+        title=f"pickled-context reseed payload (shrink {reseed['shrink']:.2f}x)",
+    )
+    write_result(
+        "serving_pool", table + "\n\n" + scale_table + "\n\n" + payload_table
+    )
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {
@@ -232,6 +276,7 @@ def test_serving_pool(benchmark, la_bundle, bench_scale, write_result):
         "speedup": speedup,
         "dispatch_scaling": scale_rows,
         "dispatch_ratio": dispatch_ratio,
+        "reseed_payload": reseed,
     }
     with open(
         os.path.join(RESULTS_DIR, "serving_pool.json"), "w", encoding="utf-8"
@@ -244,6 +289,14 @@ def test_serving_pool(benchmark, la_bundle, bench_scale, write_result):
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             **payload,
         },
+    )
+
+    # Acceptance bar: the columnar reseed payload must be at least 2x
+    # smaller than the legacy object-graph pickle.
+    assert reseed["shrink"] >= PAYLOAD_SHRINK_BAR, (
+        f"expected the columnar reseed payload to shrink >= "
+        f"{PAYLOAD_SHRINK_BAR}x, got {reseed['shrink']:.2f}x "
+        f"({reseed['columnar_bytes']} B vs {reseed['object_bytes']} B)"
     )
 
     # Acceptance bar: no shared-memory segment survives the measurements.

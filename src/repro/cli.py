@@ -163,6 +163,17 @@ def build_parser() -> argparse.ArgumentParser:
             "order; default 8)"
         ),
     )
+    serve.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help=(
+            "multiprocessing start method of the serving pool (default: "
+            "RKNNT_START_METHOD, else fork on Linux / platform default; "
+            "answers are identical either way — the columnar context "
+            "pickle is start-method-agnostic)"
+        ),
+    )
 
     watch = subparsers.add_parser(
         "watch",
@@ -508,7 +519,9 @@ def command_serve(args: argparse.Namespace) -> int:
 
     try:
         if args.workers:
-            with processor.serving_pool(workers=args.workers) as pool:
+            with processor.serving_pool(
+                workers=args.workers, start_method=args.start_method
+            ) as pool:
                 consume_stream()
                 arena = pool.arena
                 pool_line = (

@@ -25,6 +25,24 @@ from repro.index.route_index import RouteIndex
 from repro.index.rtree import RTreeEntry, RTreeNode
 
 
+def _add_node_union(
+    found: Set[int], node: RTreeNode, excluded: Set[int]
+) -> None:
+    """NList shortcut: add every route id below ``node`` to ``found``.
+
+    Reads the node's packed sorted-id union (:meth:`~repro.index.rtree
+    .RTreeNode.union_ids`) instead of the ``payload_union`` frozenset: on a
+    worker attached to a shared-memory arena this is a read-only slice of
+    the shared NList block, and iteration order is sorted everywhere.  The
+    resulting set is identical either way, so decisions never change.
+    """
+    ids = kernels.id_list(node.union_ids())
+    if excluded:
+        found.update(route_id for route_id in ids if route_id not in excluded)
+    else:
+        found.update(ids)
+
+
 def query_distance(
     point: Sequence[float], query_points: Sequence[Sequence[float]]
 ) -> float:
@@ -139,7 +157,7 @@ def count_routes_within(
         assert node.bbox is not None
         if node.bbox.max_dist(point) < threshold:
             # NList shortcut: every route below this node is strictly closer.
-            found.update(node.payload_union - excluded)
+            _add_node_union(found, node, excluded)
             continue
         if node.is_leaf:
             for entry in node.children:
@@ -213,7 +231,7 @@ def count_routes_within_sq(
             max_dist_sq = node.bbox.max_dist_sq(point)
         if max_dist_sq < threshold_sq:
             # NList shortcut: every route below this node is strictly closer.
-            found.update(node.payload_union - excluded)
+            _add_node_union(found, node, excluded)
             continue
         if node.is_leaf:
             if use_kernels:

@@ -176,9 +176,13 @@ class RkNNTProcessor:
 
         Parameters are those of
         :class:`~repro.engine.parallel.ShardedExecutor`; ``workers=None``
-        uses every available CPU.  The pool (and its shared-memory
-        segment) is destroyed on exit, crash included — the ``with`` form
-        is what guarantees cleanup.  For an open-ended lifetime use
+        uses every available CPU, and ``start_method=None`` defers to
+        ``RKNNT_START_METHOD`` (else ``fork`` on Linux, the platform
+        default elsewhere) — the columnar context pickle makes serving
+        start-method-agnostic, so ``spawn`` (macOS/Windows) answers
+        identically.  The pool (and its shared-memory segment) is
+        destroyed on exit, crash included — the ``with`` form is what
+        guarantees cleanup.  For an open-ended lifetime use
         ``RKNNT_SERVING_POOL=1`` plus :meth:`close`.
         """
         from repro.engine.parallel import ShardedExecutor

@@ -21,7 +21,22 @@ the segment and installing read-only numpy views:
     │ ...                                                           │
     │ RR-tree node boxes, preorder: per node (children, 4) float64  │
     │ TR-tree node boxes, preorder: per node (children, 4) float64  │
+    │ PList point locations (P, 2) float64, sorted lexicographically│
+    │ PList offsets (P + 1) int32                                   │
+    │ PList crossover route ids (flat, sorted per point) int32      │
+    │ NList offsets (RR-tree nodes + 1, preorder) int32             │
+    │ NList route-id unions (flat, sorted per node) int32           │
     └───────────────────────────────────────────────────────────────┘
+
+The trailing five regions are the **columnar sidecars** (see
+:mod:`repro.engine.columnar`): the PList and the NList re-encoded as packed
+int32/float64 arrays with offset tables.  Attached workers install them as
+read-only views — the PList answers crossover lookups by binary search over
+the shared point column, and every RR-tree node's ``packed_union`` becomes
+a slice of the shared NList id column, which the verification shortcut
+reads directly.  All float64 regions precede the int32 regions so every
+view stays naturally aligned.  ``RKNNT_COLUMNAR=0`` drops the sidecars
+(matrix + boxes only, the PR-4 layout).
 
 Attach cost is O(1) in the number of route/transition *points* (one
 ``shm_open`` + ``mmap``, then pointer-arithmetic view construction while
@@ -54,8 +69,10 @@ from __future__ import annotations
 import os
 import weakref
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine import columnar
+from repro.engine.columnar import walk_nodes as _walk_nodes
 from repro.engine.context import ExecutionContext, RouteMatrix, RouteMatrixBlock
 from repro.geometry import kernels
 
@@ -141,6 +158,22 @@ class TreeSpec:
 
 
 @dataclass(frozen=True)
+class ColumnSpec:
+    """Layout of one columnar-sidecar array inside the segment.
+
+    ``kind`` selects the view primitive: ``"f64"`` is a 2-D float64 region
+    (``rows`` × ``cols``), ``"i32"`` a 1-D int32 region of ``rows``
+    elements.
+    """
+
+    key: str
+    kind: str  # "f64" or "i32"
+    offset: int
+    rows: int
+    cols: int = 0
+
+
+@dataclass(frozen=True)
 class ArenaHandle:
     """Picklable description of a published arena (name + layout table).
 
@@ -154,6 +187,7 @@ class ArenaHandle:
     transition_version: int
     blocks: Tuple[BlockSpec, ...]
     trees: Tuple[TreeSpec, ...]
+    columns: Tuple[ColumnSpec, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -223,18 +257,6 @@ def _destroy_segment(shm, name: str, owner_pid: int) -> None:
             pass
 
 
-def _walk_nodes(tree) -> Iterator[object]:
-    """Deterministic preorder over a tree's nodes (identical on both sides
-    of a pickle, which is what lets attach recover the layout without any
-    per-node metadata in the handle)."""
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        yield node
-        if not node.is_leaf:
-            stack.extend(reversed(node.children))
-
-
 def _tree_box_rows(tree) -> int:
     """Total packed-box rows of a tree: every node contributes one row per
     direct child (leaf entries are degenerate boxes)."""
@@ -270,8 +292,24 @@ def publish_arena(
         "route": _tree_box_rows(route_tree),
         "transition": _tree_box_rows(transition_tree),
     }
+    # Columnar sidecars (PList + NList packed arrays): encoded through the
+    # index's version-keyed cache, so the pickle the executor ships right
+    # after publishing reuses this encoding instead of re-walking the tree.
+    sidecars = None
+    if columnar.columnar_enabled():
+        route_columns = context.route_index.to_columns()
+        sidecars = (route_columns.plist, route_columns.nlist)
     total = sum(len(block.points) * _POINT_ROW_BYTES for block in matrix.blocks)
     total += sum(rows * _BOX_ROW_BYTES for rows in tree_rows.values())
+    if sidecars is not None:
+        plist_cols, nlist_cols = sidecars
+        total += kernels.float64_nbytes(len(plist_cols.points), 2)
+        total += kernels.int32_nbytes(
+            len(plist_cols.offsets)
+            + len(plist_cols.route_ids)
+            + len(nlist_cols.offsets)
+            + len(nlist_cols.route_ids)
+        )
     if total == 0 or (enabled is not True and total < min_bytes):
         return None
 
@@ -301,6 +339,32 @@ def publish_arena(
                     )
             trees.append(TreeSpec(key=key, offset=start, rows=tree_rows[key]))
             assert offset - start == tree_rows[key] * _BOX_ROW_BYTES
+        columns: List[ColumnSpec] = []
+        if sidecars is not None:
+            plist_cols, nlist_cols = sidecars
+            # float64 region first: every earlier write is a whole number
+            # of 8-byte rows, so the point column starts aligned and the
+            # int32 regions after it need only 4-byte alignment.
+            columns.append(
+                ColumnSpec(
+                    key="plist_points",
+                    kind="f64",
+                    offset=offset,
+                    rows=len(plist_cols.points),
+                    cols=2,
+                )
+            )
+            offset = kernels.write_f64(shm.buf, offset, plist_cols.points)
+            for key, array in (
+                ("plist_offsets", plist_cols.offsets),
+                ("plist_ids", plist_cols.route_ids),
+                ("nlist_offsets", nlist_cols.offsets),
+                ("nlist_ids", nlist_cols.route_ids),
+            ):
+                columns.append(
+                    ColumnSpec(key=key, kind="i32", offset=offset, rows=len(array))
+                )
+                offset = kernels.write_i32(shm.buf, offset, array)
         handle = ArenaHandle(
             name=shm.name,
             nbytes=total,
@@ -308,6 +372,7 @@ def publish_arena(
             transition_version=context.transition_index.version,
             blocks=tuple(blocks),
             trees=tuple(trees),
+            columns=tuple(columns),
         )
     except BaseException:
         shm.close()
@@ -401,6 +466,38 @@ def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedAren
                     f"walked {offset - spec.offset} bytes, "
                     f"published {spec.rows * _BOX_ROW_BYTES}"
                 )
+        if handle.columns:
+            views = {}
+            for column in handle.columns:
+                if column.kind == "f64":
+                    views[column.key] = kernels.view_f64(
+                        shm.buf, column.offset, column.rows, column.cols
+                    )
+                else:
+                    views[column.key] = kernels.view_i32(
+                        shm.buf, column.offset, column.rows
+                    )
+            # NList first: install_nlist validates the column shape against
+            # the tree before touching any node, so a mismatch aborts the
+            # attach while the context is still untouched by the sidecars.
+            # Every RR-tree node's packed union then becomes a slice of the
+            # shared id column.
+            columnar.install_nlist(
+                context.route_index.tree,
+                columnar.NListColumns(
+                    offsets=views["nlist_offsets"], route_ids=views["nlist_ids"]
+                ),
+            )
+            # PList: crossover lookups become binary searches over the
+            # shared point column (the private arrays the pickle carried
+            # are dropped and reclaimed).
+            context.route_index.plist.install_columns(
+                columnar.PListColumns(
+                    points=views["plist_points"],
+                    offsets=views["plist_offsets"],
+                    route_ids=views["plist_ids"],
+                )
+            )
     except BaseException:
         try:
             shm.close()

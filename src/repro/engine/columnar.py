@@ -1,0 +1,520 @@
+"""Columnar dataset core: packed array encodings of the index structures.
+
+The serving layer ships one pickled :class:`~repro.engine.context
+.ExecutionContext` to every worker.  Before this module existed, that
+pickle was an *object graph*: ``Route``/``Transition`` instances,
+R-tree nodes, per-entry payload ``frozenset``\\ s, the PList dict of sets —
+megabytes of Python object headers for what is, structurally, a handful of
+flat arrays.  The columnar core re-encodes every dataset-sized structure
+as a structure of arrays:
+
+====================  =====================================================
+structure             columns
+====================  =====================================================
+route dataset         route ids (i32) · point offsets (i32) · points (f64)
+transition dataset    transition ids (i32) · endpoint coords (f64)
+R-tree (RR and TR)    preorder child counts + leaf flags (i32) · leaf
+                      entry points (f64) · payload offsets (i32) · payload
+                      values (i32: route ids, or ``(transition id,
+                      endpoint code)`` tag pairs)
+PList                 point locations (f64, sorted lexicographically) ·
+                      offsets (i32) · crossover route ids (i32, sorted)
+NList                 per-node offsets (i32, preorder) · route ids (i32,
+                      sorted)
+====================  =====================================================
+
+Every id column is **sorted**, so two encodings of the same logical state
+are identical element-wise and the resulting pickles are byte-deterministic
+across runs and interpreters — unlike hash-ordered ``set`` iteration, which
+the columnar encoders replace everywhere.
+
+Uses.  The indexes pickle themselves through ``to_columns()`` /
+``from_columns()`` (gated by ``RKNNT_COLUMNAR``; see
+:mod:`repro.index.route_index` / :mod:`repro.index.transition_index`), which
+shrinks serving-pool reseed payloads severalfold and makes the pickle
+identical under the ``fork`` and ``spawn`` start methods.  The
+shared-memory arena (:mod:`repro.engine.arena`) publishes the PList and
+NList columns into its segment alongside the route-matrix and box blocks,
+and attached workers install read-only views in place of their private
+copies — the filter/verify stages then read NList unions and PList
+crossover sets straight out of the shared blocks through the offset-table
+gather / sorted-membership kernels in :mod:`repro.geometry.kernels`.
+
+Determinism.  Decoding reproduces the exact tree *structure* (preorder
+child counts drive the rebuild), the exact entry coordinates, and the
+exact payload sets, so a decoded index answers every query identically to
+the object-graph original — the differential tests in
+``tests/test_columnar.py`` assert this per method × semantics × backend.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import kernels
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+from repro.index.transition_index import DESTINATION, ORIGIN, TransitionEntry
+from repro.model.dataset import RouteDataset, TransitionDataset
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+#: ``RKNNT_COLUMNAR`` — ``0``/``off`` falls back to the legacy object-graph
+#: pickles of the indexes; anything else (or unset) pickles columnar.
+COLUMNAR_ENV = "RKNNT_COLUMNAR"
+
+#: Payload kinds of :class:`TreeColumns`.
+PAYLOAD_ROUTE = "route"  # RR-tree: payload = set of route ids
+PAYLOAD_TAG = "tag"  # TR-tree: payload = set of (transition id, endpoint)
+
+#: Endpoint labels as int32 codes (tag pairs are ``(transition_id, code)``).
+_ENDPOINT_CODE = {ORIGIN: 0, DESTINATION: 1}
+_ENDPOINT_LABEL = (ORIGIN, DESTINATION)
+
+
+def columnar_enabled() -> bool:
+    """True unless ``RKNNT_COLUMNAR`` disables columnar index pickling."""
+    raw = os.environ.get(COLUMNAR_ENV, "").strip().lower()
+    return raw not in ("0", "off", "false", "no")
+
+
+def walk_nodes(tree: RTree) -> Iterator[RTreeNode]:
+    """Deterministic preorder over a tree's nodes.
+
+    Identical on both sides of a pickle *and* of a columnar decode (the
+    decoder rebuilds the exact structure), which is what lets the NList
+    columns and the arena box blocks be addressed positionally, without any
+    per-node metadata.
+    """
+    stack: List[RTreeNode] = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(reversed(node.children))  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# R-tree structure + leaf payloads
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class TreeColumns:
+    """One R-tree as packed columns (structure, entry points, payloads).
+
+    ``child_counts``/``leaf_flags`` are per node in preorder;
+    ``entry_points`` holds the leaf-entry coordinates in the same preorder;
+    ``payload_offsets`` is an offset table over ``payload_values`` with one
+    row per leaf entry (values are route ids for ``payload_kind="route"``,
+    flattened ``(transition_id, endpoint_code)`` pairs for ``"tag"``).
+    """
+
+    payload_kind: str
+    max_entries: int
+    min_entries: int
+    track_payload_union: bool
+    size: int
+    child_counts: Any
+    leaf_flags: Any
+    entry_points: Any
+    payload_offsets: Any
+    payload_values: Any
+
+    @property
+    def node_count(self) -> int:
+        return len(self.child_counts)
+
+    @property
+    def entry_count(self) -> int:
+        return max(0, len(self.payload_offsets) - 1)
+
+
+def _encode_route_payload(payload: Iterable[Any]) -> List[int]:
+    return sorted(int(route_id) for route_id in payload)
+
+
+def _decode_route_payload(values) -> Any:
+    return frozenset(kernels.id_list(values))
+
+
+def _encode_tag_payload(payload: Iterable[TransitionEntry]) -> List[int]:
+    flat: List[int] = []
+    for transition_id, code in sorted(
+        (int(tag.transition_id), _ENDPOINT_CODE[tag.endpoint]) for tag in payload
+    ):
+        flat.append(transition_id)
+        flat.append(code)
+    return flat
+
+
+def _decode_tag_payload(values) -> Any:
+    flat = kernels.id_list(values)
+    return frozenset(
+        TransitionEntry(flat[i], _ENDPOINT_LABEL[flat[i + 1]])
+        for i in range(0, len(flat), 2)
+    )
+
+
+_PAYLOAD_CODECS = {
+    PAYLOAD_ROUTE: (_encode_route_payload, _decode_route_payload),
+    PAYLOAD_TAG: (_encode_tag_payload, _decode_tag_payload),
+}
+
+
+def encode_tree(tree: RTree, payload_kind: str) -> TreeColumns:
+    """Pack an R-tree into :class:`TreeColumns` (preorder, leaf entries)."""
+    encoder, _ = _PAYLOAD_CODECS[payload_kind]
+    child_counts: List[int] = []
+    leaf_flags: List[int] = []
+    entry_points: List[Tuple[float, float]] = []
+    payload_offsets: List[int] = [0]
+    payload_values: List[int] = []
+    for node in walk_nodes(tree):
+        child_counts.append(len(node.children))
+        leaf_flags.append(1 if node.is_leaf else 0)
+        if node.is_leaf:
+            for entry in node.children:
+                assert isinstance(entry, RTreeEntry)
+                entry_points.append(entry.point)
+                payload_values.extend(encoder(entry.payload))
+                payload_offsets.append(len(payload_values))
+    return TreeColumns(
+        payload_kind=payload_kind,
+        max_entries=tree.max_entries,
+        min_entries=tree.min_entries,
+        track_payload_union=tree.track_payload_union,
+        size=len(tree),
+        child_counts=kernels.pack_i32(child_counts),
+        leaf_flags=kernels.pack_i32(leaf_flags),
+        entry_points=kernels.pack_points(entry_points),
+        payload_offsets=kernels.pack_i32(payload_offsets),
+        payload_values=kernels.pack_i32(payload_values),
+    )
+
+
+def decode_tree(columns: TreeColumns) -> RTree:
+    """Rebuild an R-tree from :class:`TreeColumns`.
+
+    The reconstruction is structure-exact: the preorder child counts drive
+    the same depth-first, left-to-right build that :func:`walk_nodes`
+    enumerates, so node ``i`` of the decoded tree is node ``i`` of the
+    encoded one.  Bounding boxes are recomputed bottom-up from the same
+    coordinates in the same order (bitwise identical); payload unions are
+    left lazy (see :attr:`repro.index.rtree.RTreeNode.payload_union`) so a
+    decode costs no set-building up front.
+    """
+    _, decoder = _PAYLOAD_CODECS[columns.payload_kind]
+    tree = RTree(
+        max_entries=columns.max_entries,
+        min_entries=columns.min_entries,
+        track_payload_union=columns.track_payload_union,
+    )
+    tree._size = columns.size
+    child_counts = columns.child_counts
+    leaf_flags = columns.leaf_flags
+    entry_points = columns.entry_points
+    payload_offsets = columns.payload_offsets
+    payload_values = columns.payload_values
+    cursor = {"node": 0, "entry": 0}
+
+    def build() -> RTreeNode:
+        index = cursor["node"]
+        cursor["node"] = index + 1
+        node = RTreeNode(is_leaf=bool(leaf_flags[index]))
+        count = int(child_counts[index])
+        if node.is_leaf:
+            for _ in range(count):
+                entry_index = cursor["entry"]
+                cursor["entry"] = entry_index + 1
+                point = entry_points[entry_index]
+                payload = decoder(
+                    kernels.gather_row(payload_values, payload_offsets, entry_index)
+                )
+                node.children.append(
+                    RTreeEntry((float(point[0]), float(point[1])), payload)
+                )
+        else:
+            for _ in range(count):
+                child = build()
+                child.parent = node
+                node.children.append(child)
+        node.recompute_bbox()
+        if columns.track_payload_union:
+            node._payload_union = None  # materialised lazily on first read
+        return node
+
+    root = build()
+    if cursor["node"] != columns.node_count or cursor["entry"] != columns.entry_count:
+        raise ValueError(
+            f"tree columns are inconsistent: decoded {cursor['node']} nodes / "
+            f"{cursor['entry']} entries, encoded {columns.node_count} / "
+            f"{columns.entry_count}"
+        )
+    root.parent = None
+    tree.root = root
+    return tree
+
+
+# ----------------------------------------------------------------------
+# PList (point location -> crossover route ids)
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class PListColumns:
+    """The PList as sorted packed columns, readable without a dict.
+
+    ``points`` is sorted lexicographically by ``(x, y)`` so lookups are a
+    binary search (:func:`repro.geometry.kernels.lex_search_point`);
+    ``route_ids`` holds each point's crossover set, sorted, addressed
+    through ``offsets``.  A worker attached to a shared-memory arena holds
+    these as read-only views of the segment.
+    """
+
+    points: Any
+    offsets: Any
+    route_ids: Any
+
+    def __len__(self) -> int:
+        return max(0, len(self.offsets) - 1)
+
+    def row_of(self, key: Sequence[float]) -> int:
+        return kernels.lex_search_point(self.points, float(key[0]), float(key[1]))
+
+    def ids_at(self, row: int):
+        return kernels.gather_row(self.route_ids, self.offsets, row)
+
+    def crossover(self, key: Sequence[float]) -> frozenset:
+        row = self.row_of(key)
+        if row < 0:
+            return frozenset()
+        return frozenset(kernels.id_list(self.ids_at(row)))
+
+    def degree(self, key: Sequence[float]) -> int:
+        row = self.row_of(key)
+        if row < 0:
+            return 0
+        return int(self.offsets[row + 1]) - int(self.offsets[row])
+
+    def contains(self, key: Sequence[float]) -> bool:
+        return self.row_of(key) >= 0
+
+    def keys(self) -> Iterator[Tuple[float, float]]:
+        for row in range(len(self)):
+            point = self.points[row]
+            yield (float(point[0]), float(point[1]))
+
+    def items(self) -> Iterator[Tuple[Tuple[float, float], List[int]]]:
+        for row in range(len(self)):
+            point = self.points[row]
+            key = (float(point[0]), float(point[1]))
+            yield key, kernels.id_list(self.ids_at(row))
+
+
+def encode_plist(
+    sorted_items: Sequence[Tuple[Tuple[float, float], Sequence[int]]]
+) -> PListColumns:
+    """Pack ``(point, sorted route ids)`` items (pre-sorted by point)."""
+    points: List[Tuple[float, float]] = []
+    offsets: List[int] = [0]
+    route_ids: List[int] = []
+    for key, ids in sorted_items:
+        points.append(key)
+        route_ids.extend(int(route_id) for route_id in ids)
+        offsets.append(len(route_ids))
+    return PListColumns(
+        points=kernels.pack_points(points),
+        offsets=kernels.pack_i32(offsets),
+        route_ids=kernels.pack_i32(route_ids),
+    )
+
+
+# ----------------------------------------------------------------------
+# NList (per RR-tree node route-id unions)
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class NListColumns:
+    """Per-node route-id unions, addressed by preorder node position."""
+
+    offsets: Any
+    route_ids: Any
+
+    @property
+    def node_count(self) -> int:
+        return max(0, len(self.offsets) - 1)
+
+
+def encode_nlist(tree: RTree) -> NListColumns:
+    """Pack every node's payload union (sorted) in preorder."""
+    offsets: List[int] = [0]
+    route_ids: List[int] = []
+    for node in walk_nodes(tree):
+        route_ids.extend(sorted(int(route_id) for route_id in node.payload_union))
+        offsets.append(len(route_ids))
+    return NListColumns(
+        offsets=kernels.pack_i32(offsets), route_ids=kernels.pack_i32(route_ids)
+    )
+
+
+def install_nlist(tree: RTree, columns: NListColumns) -> None:
+    """Install NList columns as per-node ``packed_union`` slices.
+
+    Raises when the column shape does not match the tree's preorder walk —
+    callers treat that as "no columns" and keep the lazily-built unions,
+    never wrong ones.  Validation runs *before* the first node is touched
+    (two cheap walks), so a rejected install leaves the tree unchanged and
+    a worker that falls back never serves from half-installed columns.
+    """
+    count = sum(1 for _ in walk_nodes(tree))
+    if count != columns.node_count:
+        raise ValueError(
+            f"NList columns cover {columns.node_count} nodes, "
+            f"but the tree has {count}"
+        )
+    for index, node in enumerate(walk_nodes(tree)):
+        node.packed_union = kernels.gather_row(
+            columns.route_ids, columns.offsets, index
+        )
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class RouteColumns:
+    """A :class:`~repro.model.dataset.RouteDataset` as packed columns."""
+
+    ids: Any
+    offsets: Any
+    points: Any
+    names: Tuple[Optional[str], ...]
+    version: int
+
+
+def encode_routes(dataset: RouteDataset) -> RouteColumns:
+    ids: List[int] = []
+    offsets: List[int] = [0]
+    flat: List[Tuple[float, float]] = []
+    names: List[Optional[str]] = []
+    for route in dataset:
+        ids.append(route.route_id)
+        names.append(route.name)
+        flat.extend((point.x, point.y) for point in route.points)
+        offsets.append(len(flat))
+    return RouteColumns(
+        ids=kernels.pack_i32(ids),
+        offsets=kernels.pack_i32(offsets),
+        points=kernels.pack_points(flat),
+        names=tuple(names),
+        version=dataset.version,
+    )
+
+
+def decode_routes(columns: RouteColumns) -> RouteDataset:
+    dataset = RouteDataset()
+    for index, route_id in enumerate(kernels.id_list(columns.ids)):
+        points = kernels.gather_row(columns.points, columns.offsets, index)
+        dataset.add(
+            Route(
+                route_id,
+                [(float(p[0]), float(p[1])) for p in points],
+                name=columns.names[index],
+            )
+        )
+    dataset.version = columns.version
+    return dataset
+
+
+@dataclass(eq=False)
+class TransitionColumns:
+    """A :class:`~repro.model.dataset.TransitionDataset` as packed columns."""
+
+    ids: Any
+    coords: Any  # (T, 4) float64: origin x, origin y, destination x, y
+    timestamps: Tuple[Optional[float], ...]
+    version: int
+
+
+def encode_transitions(dataset: TransitionDataset) -> TransitionColumns:
+    ids: List[int] = []
+    coords: List[Tuple[float, float, float, float]] = []
+    timestamps: List[Optional[float]] = []
+    for transition in dataset:
+        ids.append(transition.transition_id)
+        coords.append(
+            (
+                transition.origin.x,
+                transition.origin.y,
+                transition.destination.x,
+                transition.destination.y,
+            )
+        )
+        timestamps.append(transition.timestamp)
+    return TransitionColumns(
+        ids=kernels.pack_i32(ids),
+        coords=kernels.pack_boxes(coords),
+        timestamps=tuple(timestamps),
+        version=dataset.version,
+    )
+
+
+def decode_transitions(columns: TransitionColumns) -> TransitionDataset:
+    dataset = TransitionDataset()
+    for index, transition_id in enumerate(kernels.id_list(columns.ids)):
+        row = columns.coords[index]
+        dataset.add(
+            Transition(
+                transition_id,
+                (float(row[0]), float(row[1])),
+                (float(row[2]), float(row[3])),
+                timestamp=columns.timestamps[index],
+            )
+        )
+    dataset.version = columns.version
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# Whole indexes (the pickling boundary)
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class RouteIndexColumns:
+    """Everything a :class:`~repro.index.route_index.RouteIndex` pickles."""
+
+    routes: RouteColumns
+    tree: TreeColumns
+    plist: PListColumns
+    nlist: NListColumns
+    version: int
+    max_entries: int
+    excluded: Tuple[int, ...]
+
+
+def encode_route_index(index) -> RouteIndexColumns:
+    return RouteIndexColumns(
+        routes=encode_routes(index.routes),
+        tree=encode_tree(index.tree, PAYLOAD_ROUTE),
+        plist=index.plist.to_columns(),
+        nlist=encode_nlist(index.tree),
+        version=index.version,
+        max_entries=index.max_entries,
+        excluded=tuple(sorted(index.excluded_route_ids)),
+    )
+
+
+@dataclass(eq=False)
+class TransitionIndexColumns:
+    """Everything a :class:`~repro.index.transition_index.TransitionIndex`
+    pickles (listeners are process-local and never travel)."""
+
+    transitions: TransitionColumns
+    tree: TreeColumns
+    version: int
+    max_entries: int
+
+
+def encode_transition_index(index) -> TransitionIndexColumns:
+    return TransitionIndexColumns(
+        transitions=encode_transitions(index.transitions),
+        tree=encode_tree(index.tree, PAYLOAD_TAG),
+        version=index.version,
+        max_entries=index.max_entries,
+    )

@@ -34,7 +34,12 @@ back to the wholesale clear.
 Contexts are also what the parallel execution layer ships to its worker
 processes (see :mod:`repro.engine.parallel`): pickling a context serialises
 the datasets and indexes but *never* the derived caches — ``__getstate__``
-strips them, and each worker lazily rebuilds its own.
+strips them, and each worker lazily rebuilds its own.  Since the columnar
+dataset core (:mod:`repro.engine.columnar`), the indexes serialise
+themselves as packed sorted-id/coordinate columns instead of object
+graphs, so the reseed payload is severalfold smaller, byte-deterministic,
+and identical under the ``fork`` and ``spawn`` start methods
+(``RKNNT_COLUMNAR=0`` restores the legacy object pickles).
 """
 
 from __future__ import annotations
@@ -415,6 +420,17 @@ class ExecutionContext:
         # sub-query, like a freshly constructed one.
         state["_delta_listener_attached"] = False
         return state
+
+    def reseed_payload_nbytes(self) -> int:
+        """Byte size of this context's serving reseed payload (its pickle).
+
+        Exactly what a pool (re)seed ships to every worker; the serving
+        benchmark records it before/after the columnar encoding so payload
+        regressions show up in the ``BENCH_batch.json`` trajectory.
+        """
+        import pickle
+
+        return len(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
 
     def clear_caches(self) -> None:
         """Drop every derived cache (answers stay correct without this —

@@ -433,9 +433,12 @@ class QueryExecutor:
 
         A candidate endpoint is confirmed when fewer than ``k`` distinct
         routes are strictly closer to it than the query.  The scalar backend
-        counts through the RR-tree with the NList shortcut; the numpy
-        backend reduces the context's flattened route matrix — both compare
-        the same squared distances, so the decisions coincide exactly.
+        counts through the RR-tree with the NList shortcut — which reads
+        each node's packed sorted-id union, a shared-memory NList block
+        slice on attached workers (see :mod:`repro.engine.columnar`); the
+        numpy backend reduces the context's flattened route matrix — both
+        compare the same squared distances, so the decisions coincide
+        exactly.
         """
         confirmed: ConfirmedEndpoints = {}
         if not candidates:

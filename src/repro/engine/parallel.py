@@ -231,14 +231,28 @@ def available_cpu_count() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+#: ``RKNNT_START_METHOD`` — overrides the default multiprocessing start
+#: method (``fork`` / ``spawn`` / ``forkserver``).  An explicit
+#: ``start_method=`` argument still wins; unknown values are ignored (a
+#: mistyped tuning knob must never change answers or crash a query).
+START_METHOD_ENV = "RKNNT_START_METHOD"
+
+
 def _preferred_start_method() -> str:
-    """Default start method: ``fork`` on Linux, the platform default elsewhere.
+    """Default start method: env override, else ``fork`` on Linux, else the
+    platform default.
 
     Fork makes the context transfer practically free, but it is only safe
     on Linux — macOS lists it as available yet aborts forked children that
     touch framework state (which is why CPython switched the macOS default
-    to spawn).
+    to spawn).  Since the columnar dataset core, the context pickle is the
+    same compact column payload under every start method, so ``spawn``
+    serving (macOS/Windows, or ``RKNNT_START_METHOD=spawn`` anywhere) runs
+    the identical protocol — the CI spawn leg asserts answer equality.
     """
+    requested = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    if requested and requested in multiprocessing.get_all_start_methods():
+        return requested
     if sys.platform.startswith("linux"):
         methods = multiprocessing.get_all_start_methods()
         if "fork" in methods:

@@ -33,7 +33,9 @@ user-facing ``"auto" | "numpy" | "python"`` choice onto a concrete backend.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Tuple
+from array import array as _stdlib_array
+from bisect import bisect_left
+from typing import Iterable, List, Sequence, Tuple
 
 try:  # pragma: no cover - exercised via the CI matrix
     import numpy as _np
@@ -144,6 +146,115 @@ def view_f64(buffer, offset: int, rows: int, cols: int):
     view = _np.ndarray((rows, cols), dtype=_np.float64, buffer=buffer, offset=offset)
     view.setflags(write=False)
     return view
+
+
+# ----------------------------------------------------------------------
+# Packed int32 id columns (columnar dataset core)
+# ----------------------------------------------------------------------
+#: ``array.array`` typecode with a 32-bit signed layout on every supported
+#: platform ("i" is C int, 4 bytes everywhere CPython runs today).
+INT32_TYPECODE = "i"
+INT32_ITEMSIZE = 4
+
+
+def pack_i32(values: Iterable[int]):
+    """Pack integer ids into a 1-D int32 array (numpy) or ``array.array``.
+
+    The id-column primitive of the columnar dataset core
+    (:mod:`repro.engine.columnar`): both representations slice, iterate,
+    compare and pickle identically, and both serialise to the same byte
+    layout, so columnar pickles are byte-deterministic on either backend.
+    """
+    if numpy_available():
+        return _np.asarray(list(values), dtype=_np.int32)
+    return _stdlib_array(INT32_TYPECODE, values)
+
+
+def int32_nbytes(count: int) -> int:
+    """Bytes needed to store ``count`` int32 values."""
+    return count * INT32_ITEMSIZE
+
+
+def write_i32(buffer, offset: int, values) -> int:
+    """Copy an int32 array into ``buffer`` at ``offset``; returns the end.
+
+    The integer twin of :func:`write_f64`, used by the shared-memory arena
+    to publish id and offset columns.  The transient view is dropped before
+    returning so the buffer keeps no exported pointers.
+    """
+    assert numpy_available(), "write_i32 requires the numpy backend"
+    source = _np.ascontiguousarray(values, dtype=_np.int32)
+    end = offset + source.nbytes
+    if source.size:
+        view = _np.ndarray(source.shape, dtype=_np.int32, buffer=buffer, offset=offset)
+        view[...] = source
+        del view
+    return end
+
+
+def view_i32(buffer, offset: int, count: int):
+    """Read-only 1-D int32 view of ``buffer`` at ``offset``.
+
+    The integer twin of :func:`view_f64` (arena attach primitive)."""
+    assert numpy_available(), "view_i32 requires the numpy backend"
+    view = _np.ndarray((count,), dtype=_np.int32, buffer=buffer, offset=offset)
+    view.setflags(write=False)
+    return view
+
+
+def id_list(ids) -> List[int]:
+    """A packed id column as a list of plain Python ints.
+
+    Set/dict consumers (the NList shortcut, crossover-set accounting) go
+    through this so numpy scalars never leak into id sets — mixed
+    ``np.int32``/``int`` members hash identically but copy slower.
+    """
+    if hasattr(ids, "tolist"):
+        return ids.tolist()
+    return list(ids)
+
+
+def gather_row(flat, offsets, index: int):
+    """Row ``index`` of an offset-table column: ``flat[offsets[i]:offsets[i+1]]``.
+
+    The packed-block gather primitive: ``offsets`` has one more entry than
+    there are rows, and each row is the half-open slice between consecutive
+    offsets.  Works for numpy arrays and plain ``array.array``/list columns
+    alike (slicing semantics coincide).
+    """
+    return flat[int(offsets[index]) : int(offsets[index + 1])]
+
+
+def lex_search_point(points, x: float, y: float) -> int:
+    """Row index of ``(x, y)`` in a lexicographically sorted point column.
+
+    ``points`` is a :func:`pack_points` output sorted by ``(x, y)``; returns
+    ``-1`` when the point is absent.  The numpy path narrows by binary
+    search on the x column and then on the y run; the fallback bisects the
+    plain tuple list — both are exact float comparisons, so membership
+    matches the dict-based :class:`~repro.index.inverted.PointList` bitwise.
+
+    Dispatch is on the *column's* type, not on :func:`numpy_available`: a
+    columnar pickle built with numpy arrays must still answer correctly in
+    a process that forces the pure-Python kernels (``bisect`` over ndarray
+    rows would raise on the elementwise comparison).
+    """
+    if _np is not None and hasattr(points, "ndim"):
+        xs = points[:, 0]
+        lo = int(_np.searchsorted(xs, x, side="left"))
+        hi = int(_np.searchsorted(xs, x, side="right"))
+        if lo == hi:
+            return -1
+        ys = points[lo:hi, 1]
+        j = int(_np.searchsorted(ys, y, side="left"))
+        if j < hi - lo and ys[j] == y:
+            return lo + j
+        return -1
+    key = (x, y)
+    row = bisect_left(points, key)
+    if row < len(points) and tuple(points[row]) == key:
+        return row
+    return -1
 
 
 # ----------------------------------------------------------------------

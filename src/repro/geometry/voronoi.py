@@ -24,7 +24,7 @@ is precisely the benefit the paper reports.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.halfspace import bisector_halfplane, point_closer_to

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.geometry.bbox import BoundingBox
 from repro.index.inverted import PointList, point_key
@@ -53,6 +53,10 @@ class RouteIndex:
         #: Monotonic counter bumped on every dynamic update; the execution
         #: engine keys its per-dataset caches on it (see ``engine/context.py``).
         self.version = 0
+        #: Cached columnar encoding keyed by (index version, dataset
+        #: version); shared by pickling and arena publishing so one reseed
+        #: encodes at most once.  Never pickled.
+        self._columns_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -116,6 +120,74 @@ class RouteIndex:
             if entry.point == key:
                 return entry
         return None
+
+    # ------------------------------------------------------------------
+    # Columnar boundary (pickling + arena publishing)
+    # ------------------------------------------------------------------
+    def to_columns(self):
+        """This index as packed columns (``RouteIndexColumns``), cached.
+
+        The cache key is ``(index version, dataset version)``: any dynamic
+        update invalidates it, and a reseed that both pickles the index and
+        publishes an arena encodes exactly once.
+        """
+        from repro.engine.columnar import encode_route_index
+
+        key = (self.version, self.routes.version)
+        cached = self._columns_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = encode_route_index(self)
+        self._columns_cache = (key, columns)
+        return columns
+
+    @classmethod
+    def from_columns(cls, columns) -> "RouteIndex":
+        """Rebuild an index from packed columns (no STR re-packing).
+
+        The decoded tree is structure-identical to the encoded one (see
+        :func:`repro.engine.columnar.decode_tree`), the PList stays in
+        columnar mode until first mutation, and every node carries its
+        packed NList union — the verification shortcut reads those id
+        arrays directly.
+        """
+        from repro.engine.columnar import decode_routes, decode_tree, install_nlist
+
+        index = cls.__new__(cls)
+        index.routes = decode_routes(columns.routes)
+        index.max_entries = columns.max_entries
+        index._excluded = set(columns.excluded)
+        index.plist = PointList.from_columns(columns.plist)
+        index.tree = decode_tree(columns.tree)
+        install_nlist(index.tree, columns.nlist)
+        index.version = columns.version
+        index._columns_cache = ((columns.version, index.routes.version), columns)
+        return index
+
+    def __getstate__(self):
+        """Pickle as packed columns (default) or the legacy object graph.
+
+        ``RKNNT_COLUMNAR=0`` keeps the object-graph pickle; either way the
+        derived columns cache never travels redundantly (on the columnar
+        path it *is* the payload, on the legacy path it is dropped).
+        """
+        from repro.engine.columnar import columnar_enabled
+
+        if columnar_enabled():
+            return {"__columnar__": self.to_columns()}
+        state = self.__dict__.copy()
+        state["_columns_cache"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        columns = state.get("__columnar__")
+        if columns is not None:
+            rebuilt = type(self).from_columns(columns)
+            self.__dict__.update(rebuilt.__dict__)
+            return
+        self.__dict__.update(state)
+        # Legacy pickles predating the columns cache.
+        self.__dict__.setdefault("_columns_cache", None)
 
     # ------------------------------------------------------------------
     # Accessors used by the search algorithms

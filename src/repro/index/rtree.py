@@ -81,8 +81,9 @@ class RTreeNode:
         "children",
         "bbox",
         "parent",
-        "payload_union",
+        "_payload_union",
         "packed_boxes",
+        "packed_union",
     )
 
     def __init__(self, is_leaf: bool):
@@ -92,13 +93,72 @@ class RTreeNode:
         self.bbox: Optional[BoundingBox] = None
         self.parent: Optional["RTreeNode"] = None
         # Union of the payload sets of every entry below this node (NList).
-        self.payload_union: FrozenSet[Any] = frozenset()
+        # ``None`` means "not materialised yet": trees decoded from columnar
+        # pickles defer the frozenset build until someone actually reads it
+        # (see the ``payload_union`` property).
+        self._payload_union: Optional[FrozenSet[Any]] = frozenset()
         #: Lazily cached packed array of :meth:`child_box_tuples` (see
         #: :meth:`packed_child_boxes`).  Derived state: dropped whenever the
         #: child set changes (every mutation path recomputes the bbox) and
         #: never pickled.  The shared-memory arena pre-populates it with
         #: read-only views so attached workers skip the packing work.
         self.packed_boxes: Optional[Any] = None
+        #: Lazily cached sorted int32 id column of :attr:`payload_union`
+        #: (RR-tree nodes only — payloads must be integer route ids; see
+        #: :meth:`union_ids`).  Derived, never pickled, dropped by
+        #: :meth:`recompute_payload_union`; the shared-memory arena
+        #: pre-populates it with read-only NList views on attach.
+        self.packed_union: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # Payload union (NList) views
+    # ------------------------------------------------------------------
+    @property
+    def payload_union(self) -> FrozenSet[Any]:
+        """Union of the payload sets of every entry below this node.
+
+        Materialised lazily: trees rebuilt from columnar pickles leave it
+        unset, and the first read either expands the packed NList column
+        (when installed) or recurses into the children bottom-up.
+        """
+        union = self._payload_union
+        if union is None:
+            packed = self.packed_union
+            if packed is not None:
+                union = frozenset(kernels.id_list(packed))
+            else:
+                union = self._merged_child_union()
+            self._payload_union = union
+        return union
+
+    def _merged_child_union(self) -> FrozenSet[Any]:
+        """Union of the direct children's payloads (one level, not cached)."""
+        merged: Set[Any] = set()
+        if self.is_leaf:
+            for child in self.children:
+                merged.update(child.payload)  # type: ignore[union-attr]
+        else:
+            for child in self.children:
+                merged.update(child.payload_union)  # type: ignore[union-attr]
+        return frozenset(merged)
+
+    @payload_union.setter
+    def payload_union(self, value: FrozenSet[Any]) -> None:
+        self._payload_union = value
+
+    def union_ids(self):
+        """:attr:`payload_union` as a sorted packed int32 id column.
+
+        Only meaningful for trees whose payloads are integer ids (the
+        RR-tree); the verification NList shortcut reads this column instead
+        of the frozenset so that attached workers consume the shared-memory
+        NList block directly and id iteration order is always sorted.
+        """
+        packed = self.packed_union
+        if packed is None:
+            packed = kernels.pack_i32(sorted(self.payload_union))
+            self.packed_union = packed
+        return packed
 
     # ------------------------------------------------------------------
     # Pickling
@@ -124,9 +184,10 @@ class RTreeNode:
             self.children,
             self.bbox,
             self.parent,
-            self.payload_union,
+            self._payload_union,
         ) = state
         self.packed_boxes = None
+        self.packed_union = None
 
     # ------------------------------------------------------------------
     # Maintenance helpers
@@ -151,14 +212,11 @@ class RTreeNode:
 
     def recompute_payload_union(self) -> None:
         """Recompute the union of payload sets of the subtree (one level)."""
-        merged: Set[Any] = set()
-        if self.is_leaf:
-            for child in self.children:
-                merged.update(child.payload)  # type: ignore[union-attr]
-        else:
-            for child in self.children:
-                merged.update(child.payload_union)  # type: ignore[union-attr]
-        self.payload_union = frozenset(merged)
+        self._payload_union = self._merged_child_union()
+        # The packed id column mirrors the frozenset; any union change
+        # (dynamic insert/delete) drops it — including arena-attached views,
+        # which must never outlive the state they were published against.
+        self.packed_union = None
 
     def entries(self) -> Iterator[RTreeEntry]:
         """Iterate every leaf entry below this node (depth-first)."""

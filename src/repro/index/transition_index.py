@@ -12,7 +12,7 @@ and the execution context's delta-aware sub-query cache patching
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Tuple
 
 from repro.geometry.bbox import BoundingBox
 from repro.index.rtree import RTree, RTreeEntry, RTreeNode
@@ -87,6 +87,9 @@ class TransitionIndex:
         #: Monotonic counter bumped on every dynamic update; the execution
         #: engine keys its per-dataset caches on it (see ``engine/context.py``).
         self.version = 0
+        #: Cached columnar encoding keyed by (index version, dataset
+        #: version); see :meth:`to_columns`.  Never pickled.
+        self._columns_cache = None
         #: Mutation listeners notified (post-mutation) with a
         #: :class:`TransitionDelta` per dynamic update.  Never pickled: a
         #: listener usually closes over engine state that must stay private
@@ -183,18 +186,67 @@ class TransitionIndex:
         return removed
 
     # ------------------------------------------------------------------
-    # Pickling
+    # Columnar boundary + pickling
     # ------------------------------------------------------------------
-    def __getstate__(self) -> dict:
-        """Pickle everything but the listeners.
+    def to_columns(self):
+        """This index as packed columns (``TransitionIndexColumns``), cached.
 
-        Listeners are process-local observers (subscriptions, execution
-        contexts); shipping an index to a shard worker must not drag them
-        along — the worker re-attaches its own listeners as needed.
+        The TR-tree leaf **payload tags** are re-encoded as flattened
+        ``(transition id, endpoint code)`` int32 pairs behind a per-entry
+        offset table — the packed tag blocks of the columnar dataset core.
+        Cache keyed by ``(index version, dataset version)``.
         """
+        from repro.engine.columnar import encode_transition_index
+
+        key = (self.version, self.transitions.version)
+        cached = self._columns_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        columns = encode_transition_index(self)
+        self._columns_cache = (key, columns)
+        return columns
+
+    @classmethod
+    def from_columns(cls, columns) -> "TransitionIndex":
+        """Rebuild an index from packed columns (structure-exact decode)."""
+        from repro.engine.columnar import decode_transitions, decode_tree
+
+        index = cls.__new__(cls)
+        index.transitions = decode_transitions(columns.transitions)
+        index.max_entries = columns.max_entries
+        index.tree = decode_tree(columns.tree)
+        index.version = columns.version
+        index._listeners = []
+        index._columns_cache = ((columns.version, index.transitions.version), columns)
+        return index
+
+    def __getstate__(self) -> dict:
+        """Pickle as packed columns (default) or the legacy object graph.
+
+        Either way the listeners never travel: they are process-local
+        observers (subscriptions, execution contexts); shipping an index to
+        a shard worker must not drag them along — the worker re-attaches
+        its own listeners as needed.  ``RKNNT_COLUMNAR=0`` keeps the
+        object-graph pickle.
+        """
+        from repro.engine.columnar import columnar_enabled
+
+        if columnar_enabled():
+            return {"__columnar__": self.to_columns()}
         state = self.__dict__.copy()
         state["_listeners"] = []
+        state["_columns_cache"] = None
         return state
+
+    def __setstate__(self, state) -> None:
+        columns = state.get("__columnar__")
+        if columns is not None:
+            rebuilt = type(self).from_columns(columns)
+            self.__dict__.update(rebuilt.__dict__)
+            return
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_listeners", [])
+        self.__dict__.setdefault("_columns_cache", None)
 
     # ------------------------------------------------------------------
     # Accessors

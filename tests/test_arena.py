@@ -70,6 +70,91 @@ class TestPublishAttach:
             published.close()
 
     @needs_numpy
+    def test_attach_installs_columnar_sidecars(self, fresh_processor):
+        """PList/NList columns come back as read-only views of the segment:
+        crossover lookups answer by binary search over the shared point
+        column and every RR-tree node's packed union is a slice of the
+        shared NList block."""
+        from repro.engine import columnar
+
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        assert published is not None
+        keys = {spec.key for spec in published.handle.columns}
+        assert keys == {
+            "plist_points",
+            "plist_offsets",
+            "plist_ids",
+            "nlist_offsets",
+            "nlist_ids",
+        }
+        try:
+            clone = pickle.loads(pickle.dumps(context))
+            arena.attach_arena(published.handle, clone)
+            plist = clone.route_index.plist
+            assert plist._routes_by_point is None  # columnar mode
+            assert not plist._columns.points.flags.writeable
+            for key, ids in context.route_index.plist.sorted_items():
+                assert plist.crossover_routes(key) == frozenset(ids)
+            for ours, theirs in zip(
+                columnar.walk_nodes(context.route_index.tree),
+                columnar.walk_nodes(clone.route_index.tree),
+            ):
+                assert theirs.packed_union is not None
+                assert list(theirs.packed_union) == sorted(ours.payload_union)
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_columnar_kill_switch_drops_the_sidecars(
+        self, fresh_processor, monkeypatch
+    ):
+        from repro.engine.columnar import COLUMNAR_ENV
+
+        monkeypatch.setenv(COLUMNAR_ENV, "0")
+        published = arena.publish_arena(
+            fresh_processor.engine_context, min_bytes=0
+        )
+        assert published is not None
+        try:
+            assert published.handle.columns == ()  # PR-4 layout
+            clone = pickle.loads(pickle.dumps(fresh_processor.engine_context))
+            attached = arena.attach_arena(published.handle, clone)
+            assert attached is not None  # matrix + boxes still install
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_spawn_workers_attach_and_answer_identically(self, fresh_processor):
+        """Arena attach under the spawn start method: the segment is opened
+        by name in a fresh interpreter, so nothing is inherited — the
+        pickled handle alone must be enough."""
+        from repro.engine.parallel import ShardedExecutor
+        from repro.engine.plan import QueryPlan as Plan
+
+        queries = [[(2.0, 2.0), (3.0, 2.5)], [(1.0, 4.0)]]
+        jobs = [
+            ([(float(x), float(y)) for x, y in query], frozenset())
+            for query in queries
+        ]
+        plan = Plan.for_method("voronoi", backend="numpy")
+        serial = [
+            run_stages(fresh_processor.engine_context, query, K, plan)[0]
+            for query in queries
+        ]
+        with ShardedExecutor(
+            fresh_processor.engine_context,
+            workers=2,
+            start_method="spawn",
+            use_arena=True,
+        ) as executor:
+            results = executor.run(jobs, K, plan)
+            assert executor.arena is not None
+        for expected, actual in zip(serial, results):
+            assert actual.confirmed_endpoints == expected
+        assert arena.active_segment_names() == []
+
+    @needs_numpy
     def test_attached_context_answers_identically(self, fresh_processor):
         context = fresh_processor.engine_context
         published = arena.publish_arena(context, min_bytes=0)

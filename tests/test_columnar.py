@@ -1,0 +1,328 @@
+"""Columnar dataset core: round-trips, differential equality, determinism.
+
+The contract of :mod:`repro.engine.columnar`:
+
+* a decoded index is **structure-exact** — same preorder node walk, same
+  bounding boxes, same entries, same payload sets;
+* the columnar pickle path is differentially equal to the legacy object
+  path — same results *and* same traversal counters, per method ×
+  semantics × backend;
+* columnar pickles are byte-deterministic (sorted id columns everywhere,
+  no hash-ordered set iteration survives serialisation) and at least as
+  small as the object pickles by a wide margin;
+* PList/NList reads in columnar mode (binary search, packed unions) agree
+  with the dict/frozenset reads bitwise, and the first mutation
+  materialises a private copy without changing answers.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.rknnt import METHODS, RkNNTProcessor
+from repro.engine import columnar
+from repro.engine.executor import execute, run_stages
+from repro.engine.plan import QueryPlan
+from repro.geometry.kernels import numpy_available
+from repro.index.route_index import RouteIndex
+from repro.model.route import Route
+from repro.model.transition import Transition
+
+K = 3
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+QUERIES = [
+    [(2.0, 2.0), (3.0, 2.5)],
+    [(1.0, 4.0)],
+    [(3.5, 1.0), (3.0, 2.0)],
+]
+
+
+@pytest.fixture()
+def fresh_processor(mini_city, mini_transitions):
+    return RkNNTProcessor(mini_city.routes, mini_transitions)
+
+
+def _walk_signature(tree):
+    """Structure + payload signature of a tree, preorder."""
+    signature = []
+    for node in columnar.walk_nodes(tree):
+        box = node.bbox.as_tuple() if node.bbox is not None else None
+        entries = None
+        if node.is_leaf:
+            entries = [
+                (entry.point, tuple(sorted(entry.payload, key=repr)))
+                for entry in node.children
+            ]
+        signature.append((node.is_leaf, len(node.children), box, entries))
+    return signature
+
+
+class TestTreeRoundTrip:
+    def test_route_tree_structure_is_exact(self, fresh_processor):
+        tree = fresh_processor.route_index.tree
+        decoded = columnar.decode_tree(
+            columnar.encode_tree(tree, columnar.PAYLOAD_ROUTE)
+        )
+        assert _walk_signature(decoded) == _walk_signature(tree)
+        assert len(decoded) == len(tree)
+        assert decoded.max_entries == tree.max_entries
+        assert decoded.min_entries == tree.min_entries
+        assert decoded.track_payload_union == tree.track_payload_union
+
+    def test_transition_tree_structure_is_exact(self, fresh_processor):
+        tree = fresh_processor.transition_index.tree
+        decoded = columnar.decode_tree(
+            columnar.encode_tree(tree, columnar.PAYLOAD_TAG)
+        )
+        assert _walk_signature(decoded) == _walk_signature(tree)
+
+    def test_payload_unions_materialise_lazily_and_equal(self, fresh_processor):
+        tree = fresh_processor.route_index.tree
+        decoded = columnar.decode_tree(
+            columnar.encode_tree(tree, columnar.PAYLOAD_ROUTE)
+        )
+        for ours, theirs in zip(
+            columnar.walk_nodes(tree), columnar.walk_nodes(decoded)
+        ):
+            assert theirs.payload_union == ours.payload_union
+
+    def test_empty_tree_round_trips(self):
+        from repro.index.rtree import RTree
+
+        tree = RTree(max_entries=8, track_payload_union=True)
+        decoded = columnar.decode_tree(
+            columnar.encode_tree(tree, columnar.PAYLOAD_ROUTE)
+        )
+        assert len(decoded) == 0
+        assert decoded.root.is_leaf
+        assert decoded.root.bbox is None
+
+
+class TestNListColumns:
+    def test_union_ids_are_sorted_and_equal_the_frozenset(self, fresh_processor):
+        tree = fresh_processor.route_index.tree
+        nlist = columnar.encode_nlist(tree)
+        decoded = columnar.decode_tree(
+            columnar.encode_tree(tree, columnar.PAYLOAD_ROUTE)
+        )
+        columnar.install_nlist(decoded, nlist)
+        for ours, theirs in zip(
+            columnar.walk_nodes(tree), columnar.walk_nodes(decoded)
+        ):
+            expected = sorted(ours.payload_union)
+            assert list(theirs.packed_union) == expected
+            assert list(theirs.union_ids()) == expected
+            # The lazily materialised frozenset comes from the packed ids.
+            assert theirs.payload_union == ours.payload_union
+
+    def test_shape_mismatch_raises(self, fresh_processor):
+        tree = fresh_processor.route_index.tree
+        nlist = columnar.encode_nlist(tree)
+        from repro.index.rtree import RTree
+
+        other = RTree(max_entries=8, track_payload_union=True)
+        with pytest.raises(ValueError):
+            columnar.install_nlist(other, nlist)
+
+    def test_dynamic_update_drops_packed_unions(self, mini_city, mini_transitions):
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        root = processor.route_index.tree.root
+        before = list(root.union_ids())
+        assert root.packed_union is not None
+        route_id = mini_city.routes.next_id()
+        try:
+            processor.add_route(
+                Route(route_id, [(1.9, 2.0), (2.5, 2.2), (3.1, 2.4)])
+            )
+            assert processor.route_index.tree.root.packed_union is None
+            after = list(processor.route_index.tree.root.union_ids())
+            assert route_id in after
+            assert set(before) <= set(after)
+        finally:
+            processor.remove_route(route_id)
+
+
+class TestPListColumns:
+    def test_columnar_reads_equal_dict_reads(self, fresh_processor):
+        plist = fresh_processor.route_index.plist
+        clone = type(plist).from_columns(plist.to_columns())
+        assert len(clone) == len(plist)
+        for key, ids in plist.sorted_items():
+            assert clone.crossover_routes(key) == frozenset(ids)
+            assert clone.crossover_degree(key) == len(ids)
+            assert key in clone
+        assert (1e9, 1e9) not in clone
+        assert clone.crossover_routes((1e9, 1e9)) == frozenset()
+        assert list(clone.points()) == list(plist.points())
+        assert clone.sorted_items() == plist.sorted_items()
+
+    def test_sorted_iteration(self, fresh_processor):
+        plist = fresh_processor.route_index.plist
+        points = list(plist.points())
+        assert points == sorted(points)
+        items = plist.sorted_items()
+        assert [key for key, _ in items] == points
+        for _, ids in items:
+            assert list(ids) == sorted(ids)
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy columns")
+    def test_numpy_columns_answer_under_forced_pure_python(
+        self, fresh_processor, monkeypatch
+    ):
+        """A columnar pickle built with numpy arrays must still answer in a
+        process forcing the pure-Python kernels: lookup dispatch follows
+        the column's type, not the kernel preference."""
+        from repro.geometry import kernels
+
+        plist = fresh_processor.route_index.plist
+        clone = type(plist).from_columns(plist.to_columns())
+        monkeypatch.setattr(kernels, "_FORCED_PURE", True)
+        assert not kernels.numpy_available()
+        for key, ids in plist.sorted_items()[:10]:
+            assert clone.crossover_routes(key) == frozenset(ids)
+        assert clone.crossover_routes((1e9, 1e9)) == frozenset()
+
+    def test_mutation_materialises_a_private_dict(self, fresh_processor):
+        plist = fresh_processor.route_index.plist
+        clone = type(plist).from_columns(plist.to_columns())
+        key, ids = plist.sorted_items()[0]
+        clone.add(key, 987654)
+        assert clone._routes_by_point is not None  # columnar mode left
+        assert clone.crossover_routes(key) == frozenset(ids) | {987654}
+        clone.discard(key, 987654)
+        assert clone.crossover_routes(key) == frozenset(ids)
+        # The original is untouched (the columns were copied out, the
+        # original PList never shared its dict).
+        assert plist.crossover_routes(key) == frozenset(ids)
+
+
+class TestIndexPickling:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("semantics", ["exists", "forall"])
+    @pytest.mark.parametrize("method", METHODS)
+    def test_columnar_equals_object_path(
+        self, fresh_processor, monkeypatch, method, semantics, backend
+    ):
+        """Columnar clone ≡ legacy clone ≡ original: results, confirmed
+        endpoints and traversal counters, per method × semantics × backend."""
+        context = fresh_processor.engine_context
+        columnar_clone = pickle.loads(pickle.dumps(context))
+        monkeypatch.setenv(columnar.COLUMNAR_ENV, "0")
+        object_clone = pickle.loads(pickle.dumps(context))
+        monkeypatch.delenv(columnar.COLUMNAR_ENV)
+        plan = QueryPlan.for_method(method, backend=backend)
+        for query in QUERIES:
+            expected = execute(context, query, K, plan, semantics)
+            via_columns = execute(columnar_clone, query, K, plan, semantics)
+            via_objects = execute(object_clone, query, K, plan, semantics)
+            assert via_columns.confirmed_endpoints == expected.confirmed_endpoints
+            assert via_columns.transition_ids == expected.transition_ids
+            assert via_objects.transition_ids == expected.transition_ids
+            for probe in (via_columns, via_objects):
+                assert (
+                    probe.stats.route_nodes_visited
+                    == expected.stats.route_nodes_visited
+                )
+                assert (
+                    probe.stats.transition_nodes_visited
+                    == expected.stats.transition_nodes_visited
+                )
+                assert (
+                    probe.stats.nodes_pruned
+                    == expected.stats.nodes_pruned
+                )
+                assert (
+                    probe.stats.candidates == expected.stats.candidates
+                )
+
+    def test_pickles_are_byte_deterministic(self, fresh_processor):
+        context = fresh_processor.engine_context
+        first = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        second = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        assert first == second
+        # ...and stable across a decode/re-encode round trip: the clone
+        # re-pickles to the exact same bytes.
+        clone = pickle.loads(first)
+        assert pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL) == first
+
+    def test_pickles_shrink(self, fresh_processor, monkeypatch):
+        context = fresh_processor.engine_context
+        columnar_bytes = context.reseed_payload_nbytes()
+        monkeypatch.setenv(columnar.COLUMNAR_ENV, "0")
+        object_bytes = context.reseed_payload_nbytes()
+        assert columnar_bytes * 3 <= object_bytes * 2, (
+            f"columnar pickle {columnar_bytes} B is not >= 1.5x smaller "
+            f"than the object pickle {object_bytes} B"
+        )
+
+    def test_env_knob_restores_object_pickles(self, fresh_processor, monkeypatch):
+        monkeypatch.setenv(columnar.COLUMNAR_ENV, "0")
+        assert not columnar.columnar_enabled()
+        state = fresh_processor.route_index.__getstate__()
+        assert "__columnar__" not in state
+        clone = pickle.loads(pickle.dumps(fresh_processor.engine_context))
+        for query in QUERIES:
+            expected, _ = run_stages(
+                fresh_processor.engine_context,
+                query,
+                K,
+                QueryPlan.for_method("voronoi"),
+            )
+            actual, _ = run_stages(
+                clone, query, K, QueryPlan.for_method("voronoi")
+            )
+            assert actual == expected
+
+    def test_versions_survive_the_round_trip(self, mini_city, mini_transitions):
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        new_id = mini_transitions.next_id()
+        processor.add_transition(Transition(new_id, (2.0, 2.1), (2.4, 2.6)))
+        try:
+            clone = pickle.loads(pickle.dumps(processor.engine_context))
+            assert (
+                clone.transition_index.version
+                == processor.transition_index.version
+            )
+            assert clone.route_index.version == processor.route_index.version
+        finally:
+            processor.remove_transition(new_id)
+
+
+class TestDynamicUpdatesAfterDecode:
+    def test_decoded_index_stays_dynamic(self, mini_city, mini_transitions):
+        """A decoded context accepts the same mutations as the original and
+        keeps answering identically (the columnar form is a serialisation,
+        not a freeze)."""
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        clone = pickle.loads(pickle.dumps(processor.engine_context))
+        new_id = mini_transitions.next_id()
+        transition = Transition(new_id, (2.05, 2.05), (2.9, 2.4))
+        processor.add_transition(transition)
+        clone.transition_index.transitions.add(transition)
+        clone.transition_index.add_transition(transition)
+        try:
+            plan = QueryPlan.for_method("voronoi")
+            for query in QUERIES:
+                expected, _ = run_stages(
+                    processor.engine_context, query, K, plan
+                )
+                actual, _ = run_stages(clone, query, K, plan)
+                assert actual == expected
+        finally:
+            processor.remove_transition(new_id)
+
+    def test_decoded_route_index_accepts_route_churn(self, mini_city, mini_transitions):
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        columns = processor.route_index.to_columns()
+        decoded = RouteIndex.from_columns(columns)
+        route_id = decoded.routes.next_id()
+        route = Route(route_id, [(1.9, 2.0), (2.5, 2.2), (3.1, 2.4)])
+        decoded.routes.add(route)
+        decoded.add_route(route)
+        assert decoded.version == processor.route_index.version + 1
+        for point in route.points:
+            assert route_id in decoded.crossover_routes(point)
+        removed = decoded.routes.remove(route_id)
+        decoded.remove_route(removed)
+        for key, ids in processor.route_index.plist.sorted_items():
+            assert decoded.crossover_routes(key) == frozenset(ids)

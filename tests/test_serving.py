@@ -256,6 +256,74 @@ class TestServingPoolLifecycle:
         assert processor.active_serving_pool is None
 
 
+class TestSpawnStartMethod:
+    """Spawn-start-method serving (the macOS/Windows leg).
+
+    The columnar context pickle is start-method-agnostic, so a spawn pool
+    must answer exactly like the fork pool and the serial path — and must
+    clean its shared-memory segment up just the same.
+    """
+
+    @pytest.fixture(scope="class")
+    def spawn_serving(self, mini_city, mini_transitions):
+        # Other (module-scoped) pools may be live with their own segments;
+        # only segments this pool published must be gone after teardown.
+        baseline = set(arena.active_segment_names())
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        with processor.serving_pool(workers=WORKERS, start_method="spawn") as pool:
+            assert pool.start_method == "spawn"
+            yield processor, pool
+        assert processor.active_serving_pool is None
+        assert set(arena.active_segment_names()) <= baseline
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", METHODS)
+    def test_spawn_pool_equals_serial(
+        self, mini_city, mini_transitions, spawn_serving, serve_queries,
+        method, backend,
+    ):
+        processor, pool = spawn_serving
+        serial = processor.query_batch(
+            serve_queries, K, method=method, backend=backend
+        )
+        spawned = processor.query_batch(
+            serve_queries, K, method=method, backend=backend, workers=WORKERS
+        )
+        for query, expected, actual in zip(serve_queries, serial, spawned):
+            assert actual.confirmed_endpoints == expected.confirmed_endpoints
+            assert actual.transition_ids == _oracle_ids(
+                mini_city, mini_transitions, query, "exists"
+            )
+        assert pool.pools_spawned == 1  # the whole sweep reused one pool
+
+    def test_spawn_pool_delta_syncs_transition_churn(
+        self, mini_city, spawn_serving
+    ):
+        processor, pool = spawn_serving
+        query = [(2.0, 2.0), (3.0, 2.5)]
+        new_id = processor.transitions.next_id()
+        processor.add_transition(Transition(new_id, (2.0, 2.1), (2.4, 2.6)))
+        try:
+            after = processor.query_batch([query], K, workers=WORKERS)[0]
+            fresh = processor.query_batch([query], K)[0]
+            assert after.confirmed_endpoints == fresh.confirmed_endpoints
+            assert pool.pools_spawned == 1  # synced, never respawned
+        finally:
+            processor.remove_transition(new_id)
+
+    def test_env_knob_selects_spawn(self, mini_city, mini_transitions, monkeypatch):
+        from repro.engine.parallel import START_METHOD_ENV, ShardedExecutor
+
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        executor = ShardedExecutor(processor.engine_context, workers=1)
+        assert executor.start_method == "spawn"
+        # A mistyped knob falls back to the platform default, never raises.
+        monkeypatch.setenv(START_METHOD_ENV, "warp-drive")
+        fallback = ShardedExecutor(processor.engine_context, workers=1)
+        assert fallback.start_method in ("fork", "spawn", "forkserver")
+
+
 class TestServingIntegration:
     def test_planning_bulk_build_reuses_live_pool(self, mini_city, mini_processor):
         serial = VertexRkNNTIndex(mini_city.network, mini_processor, k=K)
