@@ -52,9 +52,12 @@ from repro.core import (
 # when it initialises first.
 from repro.engine import (
     ContinuousRkNNT,
+    DeadlineExceeded,
     ExecutionContext,
+    PoolSaturated,
     QueryPlan,
     ResultDelta,
+    RkNNTError,
     Subscription,
 )
 from repro.index import RouteIndex, TransitionIndex, RTree
@@ -66,13 +69,16 @@ from repro.planning import (
 )
 from repro.data import CityGenerator, TransitionGenerator, SyntheticCity
 
-__version__ = "1.1.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ContinuousRkNNT",
+    "DeadlineExceeded",
     "ExecutionContext",
+    "PoolSaturated",
     "QueryPlan",
     "ResultDelta",
+    "RkNNTError",
     "Subscription",
     "Route",
     "Transition",

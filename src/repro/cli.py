@@ -51,6 +51,7 @@ from repro.data.gtfs import (
     save_transitions_csv,
 )
 from repro.data.workloads import CITY_PRESETS, make_city
+from repro.engine.resilience import DeadlineExceeded, UpdateStreamError
 from repro.planning.graph import BusNetwork
 from repro.planning.maxrknnt import MAXIMIZE, MINIMIZE, MaxRkNNTPlanner
 from repro.planning.precompute import VertexRkNNTIndex
@@ -172,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
             "RKNNT_START_METHOD, else fork on Linux / platform default; "
             "answers are identical either way — the columnar context "
             "pickle is start-method-agnostic)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-batch time budget in milliseconds: a batch that misses it "
+            "is dropped with a typed error (hung workers are terminated, "
+            "the pool reseeds) and serving continues; default: "
+            "RKNNT_DEADLINE_MS, unset = no deadline"
         ),
     )
 
@@ -426,21 +438,49 @@ def command_serve(args: argparse.Namespace) -> int:
         stream = open(args.input, "r", encoding="utf-8")
         close_stream = True
 
-    stats = {"batches": 0, "queries": 0, "matched": 0, "updates": 0}
+    stats = {
+        "batches": 0,
+        "queries": 0,
+        "matched": 0,
+        "updates": 0,
+        "rejected": 0,
+        "deadline_misses": 0,
+        "dropped": 0,
+    }
     latencies: List[float] = []
     batch: List[List[tuple]] = []
+
+    def reject(where: str, error: UpdateStreamError) -> None:
+        # A malformed line must never tear the loop (or its pool) down:
+        # log the typed rejection to stderr and keep serving.
+        stats["rejected"] += 1
+        print(f"warning: {where}: rejected line ({error})", file=sys.stderr)
 
     def flush() -> None:
         if not batch:
             return
         started = time.perf_counter()
-        results = processor.query_batch(
-            batch,
-            args.k,
-            method=args.method,
-            semantics=args.semantics,
-            workers=args.workers,
-        )
+        try:
+            results = processor.query_batch(
+                batch,
+                args.k,
+                method=args.method,
+                semantics=args.semantics,
+                workers=args.workers,
+                deadline_ms=args.deadline_ms,
+            )
+        except DeadlineExceeded as error:
+            # The budget is a promise to the caller: the batch is dropped
+            # with a typed error (any hung workers were terminated; the
+            # next flush reseeds the pool) and the stream continues.
+            stats["deadline_misses"] += 1
+            stats["dropped"] += len(batch)
+            print(
+                f"warning: batch of {len(batch)} queries dropped: {error}",
+                file=sys.stderr,
+            )
+            batch.clear()
+            return
         elapsed = time.perf_counter() - started
         latencies.append(elapsed)
         matched = sum(len(result) for result in results)
@@ -464,9 +504,8 @@ def command_serve(args: argparse.Namespace) -> int:
             if fields[0] == "+" and len(fields) == 6:
                 transition_id = int(fields[1])
                 if transition_id in transitions:
-                    raise SystemExit(
-                        f"error: {where}: transition id {transition_id} "
-                        f"already present"
+                    raise UpdateStreamError(
+                        f"transition id {transition_id} already present"
                     )
                 processor.add_transition(
                     Transition(
@@ -478,17 +517,16 @@ def command_serve(args: argparse.Namespace) -> int:
             elif fields[0] == "-" and len(fields) == 2:
                 transition_id = int(fields[1])
                 if transition_id not in transitions:
-                    raise SystemExit(
-                        f"error: {where}: transition id {transition_id} "
-                        f"not in dataset"
+                    raise UpdateStreamError(
+                        f"transition id {transition_id} not in dataset"
                     )
                 processor.remove_transition(transition_id)
             else:
-                raise SystemExit(
-                    f"error: {where}: expected '+ ID OX OY DX DY' or '- ID'"
-                )
+                raise UpdateStreamError("expected '+ ID OX OY DX DY' or '- ID'")
+        except UpdateStreamError:
+            raise  # already typed (a ValueError subclass — re-raise first)
         except ValueError:
-            raise SystemExit(f"error: {where}: non-numeric field")
+            raise UpdateStreamError("non-numeric field") from None
         stats["updates"] += 1
 
     def consume_stream() -> None:
@@ -499,17 +537,24 @@ def command_serve(args: argparse.Namespace) -> int:
             fields = text.replace(",", " ").split()
             where = f"{args.input}:{line_number}"
             if fields[0] in ("+", "-"):
-                apply_update(fields, where)
+                try:
+                    apply_update(fields, where)
+                except UpdateStreamError as error:
+                    reject(where, error)
                 continue
             if len(fields) % 2 != 0:
-                raise SystemExit(
-                    f"error: {where}: expected an even number of "
-                    f"coordinates, got {len(fields)}"
+                reject(
+                    where,
+                    UpdateStreamError(
+                        f"expected an even number of coordinates, got {len(fields)}"
+                    ),
                 )
+                continue
             try:
                 floats = [float(value) for value in fields]
             except ValueError:
-                raise SystemExit(f"error: {where}: non-numeric coordinate")
+                reject(where, UpdateStreamError("non-numeric coordinate"))
+                continue
             batch.append(
                 [(floats[i], floats[i + 1]) for i in range(0, len(floats), 2)]
             )
@@ -537,7 +582,7 @@ def command_serve(args: argparse.Namespace) -> int:
         if close_stream:
             stream.close()
 
-    if not stats["queries"] and not stats["updates"]:
+    if not stats["queries"] and not stats["updates"] and not stats["dropped"]:
         raise SystemExit(f"error: input stream {args.input} contains no work")
     total = sum(latencies)
     mean_ms = (total / len(latencies) * 1000.0) if latencies else 0.0
@@ -546,6 +591,13 @@ def command_serve(args: argparse.Namespace) -> int:
         f"({stats['matched']} transitions matched, {stats['updates']} "
         f"updates applied)"
     )
+    if stats["rejected"]:
+        print(f"rejected {stats['rejected']} malformed lines (see stderr)")
+    if stats["deadline_misses"]:
+        print(
+            f"dropped {stats['dropped']} queries in {stats['deadline_misses']} "
+            f"batches that missed the {args.deadline_ms} ms deadline"
+        )
     print(
         f"dispatch: {total * 1000:.1f} ms total, {mean_ms:.1f} ms/batch mean; "
         f"{pool_line}"
@@ -554,7 +606,12 @@ def command_serve(args: argparse.Namespace) -> int:
 
 
 def _load_update_log(path: str):
-    """Parse an update log: ``+ ID OX OY DX DY`` inserts, ``- ID`` deletes."""
+    """Parse an update log: ``+ ID OX OY DX DY`` inserts, ``- ID`` deletes.
+
+    Malformed lines (bad op code, non-numeric fields, truncated tuples)
+    are rejected with a typed warning on stderr and the rest of the log
+    still replays; a log with *no* valid operation is an error.
+    """
     if not os.path.exists(path):
         raise SystemExit(f"error: update log {path} does not exist")
     operations = []
@@ -578,11 +635,18 @@ def _load_update_log(path: str):
                 elif fields[0] == "-" and len(fields) == 2:
                     operations.append(("delete", int(fields[1]), None, None))
                 else:
-                    raise SystemExit(
-                        f"error: {where}: expected '+ ID OX OY DX DY' or '- ID'"
+                    raise UpdateStreamError(
+                        "expected '+ ID OX OY DX DY' or '- ID'"
                     )
             except ValueError:
-                raise SystemExit(f"error: {where}: non-numeric field")
+                print(
+                    f"warning: {where}: rejected line (non-numeric field)",
+                    file=sys.stderr,
+                )
+            except UpdateStreamError as error:
+                print(
+                    f"warning: {where}: rejected line ({error})", file=sys.stderr
+                )
     if not operations:
         raise SystemExit(f"error: update log {path} contains no operations")
     return operations
@@ -605,19 +669,25 @@ def command_watch(args: argparse.Namespace) -> int:
     )
     rows = []
     for step, (kind, transition_id, origin, destination) in enumerate(operations):
+        # Semantically invalid operations are rejected like malformed
+        # lines: a typed warning, and the replay continues.
         if kind == "insert":
             if transition_id in transitions:
-                raise SystemExit(
-                    f"error: update {step}: transition id {transition_id} "
-                    f"already present"
+                print(
+                    f"warning: update {step}: rejected (transition id "
+                    f"{transition_id} already present)",
+                    file=sys.stderr,
                 )
+                continue
             processor.add_transition(Transition(transition_id, origin, destination))
         else:
             if transition_id not in transitions:
-                raise SystemExit(
-                    f"error: update {step}: transition id {transition_id} "
-                    f"not in dataset"
+                print(
+                    f"warning: update {step}: rejected (transition id "
+                    f"{transition_id} not in dataset)",
+                    file=sys.stderr,
                 )
+                continue
             processor.remove_transition(transition_id)
         for delta in subscription.poll():
             rows.append(

@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
+from repro.engine import resilience
 from repro.engine.context import ExecutionContext
 from repro.engine.continuous import ContinuousRkNNT, ResultDelta, Subscription
 from repro.engine.executor import execute
@@ -158,6 +159,7 @@ class RkNNTProcessor:
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         use_arena: Optional[bool] = None,
+        queue_limit: Optional[int] = None,
     ) -> Iterator["ShardedExecutor"]:
         """Keep one worker pool alive across every parallel call in scope.
 
@@ -184,6 +186,13 @@ class RkNNTProcessor:
         destroyed on exit, crash included — the ``with`` form is what
         guarantees cleanup.  For an open-ended lifetime use
         ``RKNNT_SERVING_POOL=1`` plus :meth:`close`.
+
+        ``queue_limit`` bounds in-flight shard tasks (admission control
+        with :class:`~repro.engine.resilience.PoolSaturated`
+        backpressure); ``None`` defers to ``RKNNT_QUEUE_LIMIT``.  Pool
+        failures are retried with backoff and, past ``RKNNT_MAX_RESEEDS``,
+        degrade to in-process execution with identical answers — see
+        :mod:`repro.engine.resilience`.
         """
         from repro.engine.parallel import ShardedExecutor
 
@@ -195,6 +204,7 @@ class RkNNTProcessor:
             chunk_size=chunk_size,
             start_method=start_method,
             use_arena=use_arena,
+            queue_limit=queue_limit,
         )
         self._serving_pool = pool
         self._serving_pool_adopted = False
@@ -350,6 +360,7 @@ class RkNNTProcessor:
         exclude_route_ids: Optional[Iterable[int]] = None,
         backend: str = BACKEND_AUTO,
         workers: int = 0,
+        deadline_ms: Optional[float] = None,
     ) -> List[RkNNTResult]:
         """Answer a whole workload of queries, sharing work across them.
 
@@ -385,6 +396,14 @@ class RkNNTProcessor:
             through it — reusing its warm workers — instead of spawning a
             per-call pool.  Worker sub-query caches are private, so the
             parent context's caches are neither used nor warmed.
+        deadline_ms:
+            Time budget for the whole batch, in milliseconds.  On expiry
+            the call raises a typed
+            :class:`~repro.engine.resilience.DeadlineExceeded` instead of
+            blocking (on the pool path hung workers are terminated) —
+            never a partial or wrong answer.  ``None`` defers to the
+            ``RKNNT_DEADLINE_MS`` environment knob; unset means no
+            deadline.
 
         Returns
         -------
@@ -396,6 +415,9 @@ class RkNNTProcessor:
         plan = QueryPlan.for_method(
             method, backend=backend, share_subquery_cache=True
         ).resolved()
+        if deadline_ms is None:
+            deadline_ms = resilience.default_deadline_ms()
+        deadline = resilience.Deadline.from_ms(deadline_ms)
         jobs = [
             (
                 as_query_points(query),
@@ -412,22 +434,27 @@ class RkNNTProcessor:
             elif pool is None and serving_pool_env_enabled():
                 pool = self._adopted_serving_pool(workers)
             if pool is not None:
-                return pool.run(jobs, k, plan, semantics)
+                return pool.run(jobs, k, plan, semantics, deadline=deadline)
             from repro.engine.parallel import ShardedExecutor
 
             with ShardedExecutor(self.engine_context, workers=workers) as sharded:
-                return sharded.run(jobs, k, plan, semantics)
-        return [
-            execute(
-                self.engine_context,
-                query_points,
-                k,
-                plan,
-                semantics,
-                exclude_route_ids=excluded,
+                return sharded.run(jobs, k, plan, semantics, deadline=deadline)
+        results = []
+        for query_points, excluded in jobs:
+            if deadline is not None:
+                deadline.check("query")
+            results.append(
+                execute(
+                    self.engine_context,
+                    query_points,
+                    k,
+                    plan,
+                    semantics,
+                    exclude_route_ids=excluded,
+                    deadline=deadline,
+                )
             )
-            for query_points, excluded in jobs
-        ]
+        return results
 
     # ------------------------------------------------------------------
     # Continuous queries (delta-maintained standing results)

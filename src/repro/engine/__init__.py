@@ -31,7 +31,13 @@ This package factors that pipeline out of the per-method modules:
   read-only views of in O(1), instead of rebuilding per worker;
 * :mod:`repro.engine.continuous` — :class:`ContinuousRkNNT` and
   :class:`Subscription`, delta-maintained standing queries over the
-  transition index's typed mutation stream.
+  transition index's typed mutation stream;
+* :mod:`repro.engine.resilience` — the typed failure taxonomy
+  (:class:`RkNNTError` and friends), deadlines, bounded backoff retries
+  and admission control for the serving runtime;
+* :mod:`repro.engine.faults` — deterministic fault injection: named
+  injection points threaded through the serving stack, driven by the
+  ``RKNNT_FAULTS`` spec so every chaos run reproduces.
 
 The geometry kernels themselves live in :mod:`repro.geometry.kernels`; the
 engine is backend-agnostic and produces element-wise identical answers on
@@ -49,6 +55,17 @@ from repro.engine.continuous import (
 from repro.engine.executor import QueryExecutor, execute
 from repro.engine.filterset import FilterSet
 from repro.engine.parallel import ShardedExecutor
+from repro.engine.resilience import (
+    ArenaAttachError,
+    Deadline,
+    DeadlineExceeded,
+    PoolSaturated,
+    ReseedError,
+    RkNNTError,
+    SyncLogError,
+    UpdateStreamError,
+    WorkerCrashError,
+)
 from repro.engine.plan import (
     DIVIDE_CONQUER,
     FILTER_REFINE,
@@ -60,23 +77,32 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "ArenaAttachError",
     "ArenaHandle",
     "ContinuousRkNNT",
     "DIVIDE_CONQUER",
     "DatasetArena",
+    "Deadline",
+    "DeadlineExceeded",
     "publish_arena",
     "DeltaStatistics",
     "ExecutionContext",
     "FILTER_REFINE",
     "FilterSet",
     "METHODS",
+    "PoolSaturated",
     "QueryExecutor",
     "QueryPlan",
+    "ReseedError",
     "ResultDelta",
+    "RkNNTError",
     "ShardedExecutor",
     "Subscription",
+    "SyncLogError",
     "TRAVERSAL_BLOCK",
     "TRAVERSAL_NODE",
+    "UpdateStreamError",
     "VORONOI",
+    "WorkerCrashError",
     "execute",
 ]

@@ -71,9 +71,10 @@ import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine import columnar
+from repro.engine import columnar, faults
 from repro.engine.columnar import walk_nodes as _walk_nodes
 from repro.engine.context import ExecutionContext, RouteMatrix, RouteMatrixBlock
+from repro.engine.resilience import ArenaAttachError
 from repro.geometry import kernels
 
 try:  # pragma: no cover - absent only on exotic builds without _posixshmem
@@ -94,6 +95,11 @@ DEFAULT_ARENA_MIN_BYTES = 16_384
 #: Bytes per packed box row (4 float64 columns).
 _BOX_ROW_BYTES = kernels.float64_nbytes(1, 4)
 _POINT_ROW_BYTES = kernels.float64_nbytes(1, 2)
+
+#: Sidecar columns a columnar handle must carry, all or nothing.
+_COLUMN_KEYS = frozenset(
+    {"plist_points", "plist_offsets", "plist_ids", "nlist_offsets", "nlist_ids"}
+)
 
 #: Live arenas published by this process: segment name -> finalizer.
 _ACTIVE: Dict[str, "weakref.finalize"] = {}
@@ -427,9 +433,11 @@ def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedAren
     """Attach to a published arena and install its views into ``context``.
 
     Installs the route matrix (read-only shared views) and pre-populates
-    the packed-box cache of every RR-/TR-tree node.  Raises on any layout
-    mismatch — callers treat an attach failure as "no arena" and fall back
-    to the private rebuild path, never to wrong answers.
+    the packed-box cache of every RR-/TR-tree node.  Raises a typed
+    :class:`~repro.engine.resilience.ArenaAttachError` on any failure —
+    segment vanished, layout mismatch, injected ``arena_attach`` fault —
+    and callers treat it as "no arena", falling back to the private
+    rebuild path, never to wrong answers.
 
     The returned attachment is also stored on the context
     (``_arena_attachment``), pinning the mapping for as long as the context
@@ -437,9 +445,20 @@ def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedAren
     is therefore safe.
     """
     if _shared_memory is None or not kernels.numpy_available():
-        raise RuntimeError("shared-memory arenas need numpy and shared_memory")
-    shm = _attach_segment(handle.name)
+        raise ArenaAttachError("shared-memory arenas need numpy and shared_memory")
+    faults.fire(faults.ARENA_ATTACH)
     try:
+        shm = _attach_segment(handle.name)
+    except Exception as exc:
+        raise ArenaAttachError(
+            "arena segment attach failed", segment=handle.name
+        ) from exc
+    try:
+        # Stage-then-install: every view is built and every layout check
+        # passes *before* the first context mutation.  A worker context
+        # must never be left holding views into a mapping the failure path
+        # is about to unmap (numpy arrays do not pin the mmap — reading a
+        # view of a closed segment is a segfault, not an exception).
         blocks = []
         for spec in handle.blocks:
             points = kernels.view_f64(shm.buf, spec.offset, spec.rows, 2)
@@ -448,24 +467,28 @@ def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedAren
                     points, list(spec.route_offsets), list(spec.column_route_ids)
                 )
             )
-        context.install_route_matrix(RouteMatrix(blocks), handle.route_version)
         trees = {
             "route": context.route_index.tree,
             "transition": context.transition_index.tree,
         }
+        staged_boxes = []
         for spec in handle.trees:
             offset = spec.offset
             for node in _walk_nodes(trees[spec.key]):
                 rows = len(node.children)
                 if rows:
-                    node.packed_boxes = kernels.view_f64(shm.buf, offset, rows, 4)
+                    staged_boxes.append(
+                        (node, kernels.view_f64(shm.buf, offset, rows, 4))
+                    )
                     offset += rows * _BOX_ROW_BYTES
             if offset - spec.offset != spec.rows * _BOX_ROW_BYTES:
-                raise RuntimeError(
-                    f"arena layout mismatch on the {spec.key} tree: "
-                    f"walked {offset - spec.offset} bytes, "
-                    f"published {spec.rows * _BOX_ROW_BYTES}"
+                raise ArenaAttachError(
+                    f"arena layout mismatch on the {spec.key} tree",
+                    segment=handle.name,
+                    walked=offset - spec.offset,
+                    published=spec.rows * _BOX_ROW_BYTES,
                 )
+        nlist_columns = plist_columns = None
         if handle.columns:
             views = {}
             for column in handle.columns:
@@ -477,31 +500,51 @@ def attach_arena(handle: ArenaHandle, context: ExecutionContext) -> AttachedAren
                     views[column.key] = kernels.view_i32(
                         shm.buf, column.offset, column.rows
                     )
-            # NList first: install_nlist validates the column shape against
-            # the tree before touching any node, so a mismatch aborts the
-            # attach while the context is still untouched by the sidecars.
-            # Every RR-tree node's packed union then becomes a slice of the
-            # shared id column.
-            columnar.install_nlist(
-                context.route_index.tree,
-                columnar.NListColumns(
-                    offsets=views["nlist_offsets"], route_ids=views["nlist_ids"]
-                ),
-            )
-            # PList: crossover lookups become binary searches over the
-            # shared point column (the private arrays the pickle carried
-            # are dropped and reclaimed).
-            context.route_index.plist.install_columns(
-                columnar.PListColumns(
-                    points=views["plist_points"],
-                    offsets=views["plist_offsets"],
-                    route_ids=views["plist_ids"],
+            missing = _COLUMN_KEYS - views.keys()
+            if missing:
+                raise ArenaAttachError(
+                    "arena sidecar columns incomplete",
+                    segment=handle.name,
+                    missing=sorted(missing),
                 )
+            nlist_columns = columnar.NListColumns(
+                offsets=views["nlist_offsets"], route_ids=views["nlist_ids"]
             )
+            node_count = sum(1 for _ in columnar.walk_nodes(context.route_index.tree))
+            if node_count != nlist_columns.node_count:
+                raise ArenaAttachError(
+                    "arena sidecar shape mismatch on the NList columns",
+                    segment=handle.name,
+                    tree_nodes=node_count,
+                    column_nodes=nlist_columns.node_count,
+                )
+            plist_columns = columnar.PListColumns(
+                points=views["plist_points"],
+                offsets=views["plist_offsets"],
+                route_ids=views["plist_ids"],
+            )
+        # Install phase — all checks passed, nothing below can raise.
+        context.install_route_matrix(RouteMatrix(blocks), handle.route_version)
+        for node, view in staged_boxes:
+            node.packed_boxes = view
+        if nlist_columns is not None:
+            # Every RR-tree node's packed union becomes a slice of the
+            # shared id column; PList crossover lookups become binary
+            # searches over the shared point column (the private arrays
+            # the pickle carried are dropped and reclaimed).
+            columnar.install_nlist(context.route_index.tree, nlist_columns)
+            context.route_index.plist.install_columns(plist_columns)
     except BaseException:
+        # Defence in depth: should a partial install ever slip through,
+        # drop it before the mapping goes away below.
+        context._route_matrix = None
+        context._route_matrix_version = -1
+        for tree in (context.route_index.tree, context.transition_index.tree):
+            for node in _walk_nodes(tree):
+                node.packed_boxes = None
         try:
             shm.close()
-        except BufferError:  # pragma: no cover - partial installs keep views
+        except BufferError:  # pragma: no cover - lingering buffer exports
             pass
         raise
     attachment = AttachedArena(shm)

@@ -67,6 +67,7 @@ from repro.core.stats import QueryStatistics
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryExecutor
 from repro.engine.plan import QueryPlan
+from repro.engine.resilience import RkNNTError
 from repro.geometry.bbox import BoundingBox
 from repro.index.transition_index import (
     DELTA_INSERT,
@@ -596,6 +597,13 @@ class ContinuousRkNNT:
         structures are re-installed per subscription.  Without a pool each
         stale subscription refreshes serially, exactly as its next lazy
         access would.  Returns the non-empty ``"rebuild"`` deltas emitted.
+
+        A pool that fails outright (a typed
+        :class:`~repro.engine.resilience.RkNNTError`, e.g. its reseed
+        budget is already spent and a deadline cut the degraded path short)
+        is abandoned for this refresh: the stale subscriptions fall back to
+        the serial re-filter, which computes the identical deltas —
+        standing results never depend on the pool's health.
         """
         stale = [
             subscription
@@ -603,9 +611,15 @@ class ContinuousRkNNT:
             if subscription.is_stale()
         ]
         deltas: List[ResultDelta] = []
+        rebuilt = None
         if pool is not None and stale:
             jobs = [subscription.rebuild_job() for subscription in stale]
-            for subscription, parts in zip(stale, pool.run_standing(jobs)):
+            try:
+                rebuilt = pool.run_standing(jobs)
+            except RkNNTError:
+                rebuilt = None
+        if rebuilt is not None:
+            for subscription, parts in zip(stale, rebuilt):
                 delta = subscription.install_rebuild(parts)
                 if delta is not None:
                     deltas.append(delta)

@@ -52,6 +52,7 @@ from repro.engine.plan import (
     QueryPlan,
     resolve_traversal,
 )
+from repro.engine.resilience import Deadline
 from repro.geometry import kernels
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.halfspace import filtering_space_contains_bbox
@@ -86,6 +87,11 @@ class QueryExecutor:
         ``"auto"``) expands all children of the best node in one kernel
         call; ``"node"`` is the original node-at-a-time heap loop.  The two
         make identical decisions (same answers, same traversal counters).
+    deadline:
+        Optional :class:`~repro.engine.resilience.Deadline` checked at the
+        pipeline's stage boundaries.  Deadlines only ever *raise*
+        (:class:`~repro.engine.resilience.DeadlineExceeded`) — a query that
+        completes within its budget is untouched by them.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class QueryExecutor:
         exclude_route_ids: Optional[Iterable[int]] = None,
         backend: str = "python",
         filter_traversal: str = TRAVERSAL_AUTO,
+        deadline: Optional[Deadline] = None,
     ):
         if k <= 0:
             raise ValueError("k must be positive")
@@ -105,6 +112,7 @@ class QueryExecutor:
         self.excluded: FrozenSet[int] = frozenset(exclude_route_ids or ())
         self.backend = resolve_backend(backend)
         self.filter_traversal = resolve_traversal(filter_traversal)
+        self.deadline = deadline
         self.stats = QueryStatistics()
         self.filter_set = FilterSet()
         self.refine_nodes: List[RTreeNode] = []
@@ -501,11 +509,17 @@ class QueryExecutor:
             raise ValueError("query must contain at least one point")
 
         started = time.perf_counter()
+        if self.deadline is not None:
+            self.deadline.check("filter stage")
         self.filter_routes(query)
+        if self.deadline is not None:
+            self.deadline.check("prune stage")
         candidates = self.prune_transitions(query)
         self.stats.filtering_seconds += time.perf_counter() - started
 
         started = time.perf_counter()
+        if self.deadline is not None:
+            self.deadline.check("verify stage")
         confirmed = self.verify(query, candidates)
         self.stats.verification_seconds += time.perf_counter() - started
         return confirmed
@@ -527,6 +541,7 @@ def run_stages(
     k: int,
     plan: QueryPlan,
     exclude_route_ids: Optional[Iterable[int]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[ConfirmedEndpoints, QueryStatistics]:
     """Run one query under ``plan``; returns (confirmed endpoints, stats)."""
     plan = plan.resolved()
@@ -539,9 +554,10 @@ def run_stages(
             exclude_route_ids=excluded,
             backend=plan.backend,
             filter_traversal=plan.filter_traversal,
+            deadline=deadline,
         )
         return executor.run(query_points), executor.stats
-    return _run_decomposed(context, query_points, k, plan, excluded)
+    return _run_decomposed(context, query_points, k, plan, excluded, deadline)
 
 
 def _run_decomposed(
@@ -550,6 +566,7 @@ def _run_decomposed(
     k: int,
     plan: QueryPlan,
     excluded: FrozenSet[int],
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[ConfirmedEndpoints, QueryStatistics]:
     """Divide & conquer: one single-point sub-query per query point (Lemma 3).
 
@@ -565,6 +582,8 @@ def _run_decomposed(
     aggregate = QueryStatistics(subqueries=0)
     confirmed: ConfirmedEndpoints = {}
     for point in points:
+        if deadline is not None:
+            deadline.check("sub-query")
         key = (point, k, excluded, plan.use_voronoi)
         cached = (
             context.subquery_lookup(key) if plan.share_subquery_cache else None
@@ -577,6 +596,7 @@ def _run_decomposed(
                 exclude_route_ids=excluded,
                 backend=plan.backend,
                 filter_traversal=plan.filter_traversal,
+                deadline=deadline,
             )
             sub_confirmed = executor.run([point])
             aggregate.merge(executor.stats)
@@ -603,6 +623,7 @@ def execute(
     plan: QueryPlan,
     semantics: Union[Semantics, str],
     exclude_route_ids: Optional[Iterable[int]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> RkNNTResult:
     """Answer one RkNNT query under ``plan`` and wrap it in a result.
 
@@ -610,10 +631,13 @@ def execute(
     context (that is all :meth:`~repro.core.rknnt.RkNNTProcessor
     .query_batch` does — the processor layer owns per-query concerns such
     as a Route query excluding itself, so no separate engine-level batch
-    entry point exists).
+    entry point exists).  ``deadline`` is checked between pipeline stages
+    and between divide & conquer sub-queries; on expiry the query raises
+    :class:`~repro.engine.resilience.DeadlineExceeded` instead of
+    returning a partial answer.
     """
     semantics = Semantics.coerce(semantics)
     confirmed, stats = run_stages(
-        context, query_points, k, plan, exclude_route_ids
+        context, query_points, k, plan, exclude_route_ids, deadline=deadline
     )
     return RkNNTResult.from_confirmed(confirmed, semantics, k, stats)

@@ -36,10 +36,34 @@ keeps alive between batches.  Reuse is safe under dynamic updates:
 * *route churn* changes the geometry every cached structure was built
   against, so the pool is reseeded (fresh pickle + fresh arena) — route
   mutations are rare on the serving path, transition churn is the common
-  case;
-* a worker *crash* mid-query breaks the pool; :meth:`run` reseeds once and
-  replays the whole workload (shard tasks are pure + idempotent), so a
-  single crash costs latency, never answers.
+  case.
+
+**Resilience.**  Faults on the pool path are recovered by policy, never by
+luck (:mod:`repro.engine.resilience` holds the primitives,
+``tests/test_resilience.py`` drives every failure mode through
+:mod:`repro.engine.faults`):
+
+* a worker *crash* mid-task (OOM kill, segfault) breaks the pool; the
+  executor reseeds and replays the workload — shard tasks are pure and
+  sync replay is idempotent — under a bounded retry loop with
+  exponentially backed-off, jittered pauses;
+* a *corrupted sync log* (a worker's delta replay cannot reproduce the
+  parent's version) surfaces as a typed
+  :class:`~repro.engine.resilience.SyncLogError` and is recovered the
+  same way: a fresh seed carries the current state, no replay needed;
+* after ``RKNNT_MAX_RESEEDS`` consecutive pool failures the executor
+  **degrades**: it answers in process through the identical serial code
+  path, so answers never change — only throughput.  Degradation is sticky
+  until :meth:`~ShardedExecutor.close`;
+* a :class:`~repro.engine.resilience.Deadline` bounds every batch; on the
+  pool path it becomes the ``future.result`` timeout, and on expiry the
+  pool is torn down hard (hung workers are terminated) and
+  :class:`~repro.engine.resilience.DeadlineExceeded` is raised — a hung
+  worker can never stall a caller past its budget;
+* admission is bounded by ``RKNNT_QUEUE_LIMIT``: a batch that would
+  overflow the in-flight window while other work is queued is refused
+  with :class:`~repro.engine.resilience.PoolSaturated`, and submission is
+  windowed so at most that many futures are ever buffered.
 
 Worker processes are started with the ``fork`` method where available (the
 context transfer is then practically free for the OS) and ``spawn``
@@ -50,6 +74,7 @@ semantics never depend on the start method.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import math
 import multiprocessing
 import os
@@ -70,10 +95,22 @@ from typing import (
 from repro.core.result import RkNNTResult
 from repro.core.semantics import EXISTS, Semantics
 from repro.engine import arena as arena_module
+from repro.engine import faults, resilience
 from repro.engine.context import ExecutionContext
 from repro.engine.executor import QueryExecutor, execute
 from repro.engine.plan import QueryPlan
+from repro.engine.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    PoolSaturated,
+    ReseedError,
+    RkNNTError,
+    SyncLogError,
+    WorkerCrashError,
+)
 from repro.index.transition_index import DELTA_INSERT, TransitionDelta
+
+_LOGGER = logging.getLogger("repro.engine.parallel")
 
 #: One job of a sharded workload: normalised query points plus the route ids
 #: excluded for that query (per-query self-exclusion happens in the parent,
@@ -101,18 +138,24 @@ _WORKER_CONTEXT: Optional[ExecutionContext] = None
 _WORKER_ARENA = None
 
 
-def _initialize_worker(context_payload: bytes, arena_handle) -> None:
+def _initialize_worker(context_payload: bytes, arena_handle, fault_runtime=None) -> None:
     """Pool initializer: unpickle the shared context exactly once per worker
-    and attach the dataset arena when one was published."""
+    and attach the dataset arena when one was published.
+
+    The parent's installed fault schedule rides along so chaos counters
+    are pool-global (the Nth task means the Nth across all workers)."""
     global _WORKER_CONTEXT, _WORKER_ARENA
+    if fault_runtime is not None:
+        faults.install(fault_runtime)
     _WORKER_CONTEXT = pickle.loads(context_payload)
     _WORKER_ARENA = None
     if arena_handle is not None:
         try:
             _WORKER_ARENA = arena_module.attach_arena(arena_handle, _WORKER_CONTEXT)
         except Exception:
-            # Attach failures (segment vanished, layout mismatch) degrade to
-            # the private-rebuild path — never to wrong answers.
+            # Attach failures (segment vanished, layout mismatch, injected
+            # ArenaAttachError) degrade to the private-rebuild path —
+            # never to wrong answers.
             _WORKER_ARENA = None
 
 
@@ -131,7 +174,10 @@ def _apply_sync(context: ExecutionContext, sync: Sync) -> None:
     run and across runs.  Replaying through the index's own mutation API
     reproduces the parent's version counters exactly and lets the worker's
     version-guarded caches invalidate — or delta-patch — like any other
-    consumer of the stream.
+    consumer of the stream.  A log that cannot reproduce the target version
+    (a gap, or a truncated tail) raises a typed
+    :class:`~repro.engine.resilience.SyncLogError`; the parent recovers it
+    by reseeding, which ships the current state wholesale.
     """
     if sync is None:
         return
@@ -142,10 +188,12 @@ def _apply_sync(context: ExecutionContext, sync: Sync) -> None:
     for delta in deltas:
         if delta.version <= index.version:
             continue
-        if delta.version != index.version + 1:  # pragma: no cover - guarded
-            raise RuntimeError(
-                f"worker sync gap: at version {index.version}, "
-                f"next delta is {delta.version}"
+        if delta.version != index.version + 1:
+            raise SyncLogError(
+                "worker sync gap",
+                at_version=index.version,
+                next_delta=delta.version,
+                target=target,
             )
         transition = delta.transition
         if delta.kind == DELTA_INSERT:
@@ -154,17 +202,27 @@ def _apply_sync(context: ExecutionContext, sync: Sync) -> None:
         else:
             index.transitions.remove(transition.transition_id)
             index.remove_transition(transition)
-    if index.version != target:  # pragma: no cover - guarded by parent log
-        raise RuntimeError(
-            f"worker sync fell short: reached version {index.version}, "
-            f"target {target}"
+    if index.version != target:
+        raise SyncLogError(
+            "worker sync fell short",
+            reached=index.version,
+            target=target,
+            deltas=len(deltas),
         )
+
+
+def _fire_task_faults() -> None:
+    """The per-task injection points, in severity order."""
+    faults.fire(faults.WORKER_CRASH)
+    faults.fire(faults.TASK_HANG)
+    faults.fire(faults.TASK_DELAY)
 
 
 def _run_shard(task) -> Tuple[int, List[RkNNTResult]]:
     """Answer one shard of a batch workload against the worker's context."""
     base_index, (jobs, k, plan, semantics), sync = task
     context = _worker_context()
+    _fire_task_faults()
     _apply_sync(context, sync)
     results = [
         execute(context, query_points, k, plan, semantics, exclude_route_ids=excluded)
@@ -173,14 +231,14 @@ def _run_shard(task) -> Tuple[int, List[RkNNTResult]]:
     return base_index, results
 
 
-def _run_standing(task):
-    """Rebuild one standing query: run its sub-queries and return, per
-    sub-query, ``(confirmed map, stats, filter set)`` — everything the
-    parent-side :class:`~repro.engine.continuous.Subscription` needs to
-    re-install its retained filter structures without re-running locally."""
-    base_index, (sub_queries, k, plan, excluded), sync = task
-    context = _worker_context()
-    _apply_sync(context, sync)
+def standing_parts(context: ExecutionContext, job) -> List[Any]:
+    """Rebuild one standing query against ``context``: run its sub-queries
+    and return, per sub-query, ``(confirmed map, stats, filter set)`` —
+    everything :class:`~repro.engine.continuous.Subscription` needs to
+    re-install its retained filter structures.  Shared by the pool worker
+    task and the degraded in-process fallback, so both produce identical
+    parts."""
+    sub_queries, k, plan, excluded = job
     parts = []
     for sub in sub_queries:
         executor = QueryExecutor(
@@ -195,7 +253,16 @@ def _run_standing(task):
         filter_set = executor.filter_set
         filter_set._packed = None  # derived arrays; the parent repacks lazily
         parts.append((confirmed, executor.stats, filter_set))
-    return base_index, parts
+    return parts
+
+
+def _run_standing(task):
+    """Pool task wrapper around :func:`standing_parts`."""
+    base_index, job, sync = task
+    context = _worker_context()
+    _fire_task_faults()
+    _apply_sync(context, sync)
+    return base_index, standing_parts(context, job)
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +351,9 @@ class ShardedExecutor:
         ``True`` / ``False`` forces the shared-memory arena on or off for
         this executor; ``None`` (default) defers to the ``RKNNT_ARENA`` /
         ``RKNNT_ARENA_MIN_BYTES`` environment knobs.
+    queue_limit:
+        Bound on in-flight shard tasks (admission + submission window);
+        ``None`` defers to ``RKNNT_QUEUE_LIMIT``, ``0`` is unbounded.
 
     The executor owns one pool across all of its :meth:`run` calls — reuse
     it (it is a context manager, and the processor's ``serving_pool`` keeps
@@ -291,6 +361,13 @@ class ShardedExecutor:
     arena attachments and warmed caches between batches.  Dynamic updates
     never produce stale answers: transition churn is delta-synced into the
     workers, route churn reseeds the pool.
+
+    Failure policy (see the module docstring): pool failures inside one
+    batch are retried with reseed-and-replay up to ``RKNNT_MAX_RESEEDS``
+    times with jittered backoff; past the budget the executor turns
+    :attr:`degraded` and answers in process (identical results).  A
+    successful batch resets the consecutive-failure count; :meth:`close`
+    resets degradation.
     """
 
     def __init__(
@@ -300,6 +377,7 @@ class ShardedExecutor:
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
         use_arena: Optional[bool] = None,
+        queue_limit: Optional[int] = None,
     ):
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -308,17 +386,35 @@ class ShardedExecutor:
         self.chunk_size = chunk_size
         self.start_method = start_method or _preferred_start_method()
         self.use_arena = use_arena
+        self.queue_limit = (
+            resilience.default_queue_limit()
+            if queue_limit is None
+            else max(0, int(queue_limit))
+        )
+        self._gate = resilience.AdmissionGate(self.queue_limit)
+        #: Backoff between reseed attempts; seeded so a chaos run's pause
+        #: schedule reproduces.  Tests may swap ``retry_policy.sleep``.
+        self.retry_policy = resilience.RetryPolicy(seed=0)
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_versions: Tuple[int, int] = (-1, -1)
         self._arena: Optional[arena_module.DatasetArena] = None
         self._sync_log: List[TransitionDelta] = []
         self._sync_overflow = False
         self._listener_attached = False
+        self._degraded = False
+        #: The typed error that forced degradation (``None`` while healthy).
+        self.last_failure: Optional[RkNNTError] = None
         #: Pools spawned over this executor's lifetime (1 = never reseeded);
         #: the serving tests and benchmark read it to prove reuse.
         self.pools_spawned = 0
-        #: Worker-crash recoveries performed by :meth:`run`.
+        #: Worker-crash recoveries performed by the retry loop.
         self.crash_recoveries = 0
+        #: Sync-log corruptions recovered by reseeding.
+        self.sync_recoveries = 0
+        #: Failed pool reseeds (arena publish / pickle / spawn broke).
+        self.reseed_failures = 0
+        #: Batches answered in process after degradation.
+        self.degraded_runs = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -370,21 +466,40 @@ class ShardedExecutor:
             self._attach_listener()
             self._sync_log = []
             self._sync_overflow = False
-            if self._arena_enabled():
-                forced = self.use_arena is True
-                self._arena = arena_module.publish_arena(
-                    self.context,
-                    min_bytes=0 if forced else None,
-                    force=forced,
+            try:
+                faults.fire(faults.RESEED_FAIL)
+                if self._arena_enabled():
+                    forced = self.use_arena is True
+                    self._arena = arena_module.publish_arena(
+                        self.context,
+                        min_bytes=0 if forced else None,
+                        force=forced,
+                    )
+                payload = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
+                handle = self._arena.handle if self._arena is not None else None
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context(self.start_method),
+                    initializer=_initialize_worker,
+                    initargs=(payload, handle, faults.current()),
                 )
-            payload = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
-            handle = self._arena.handle if self._arena is not None else None
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=multiprocessing.get_context(self.start_method),
-                initializer=_initialize_worker,
-                initargs=(payload, handle),
-            )
+            except Exception as exc:
+                # Roll the half-seeded state back so the next attempt (or
+                # the degraded fallback) starts clean.
+                if self._arena is not None:
+                    self._arena.close()
+                    self._arena = None
+                self._detach_listener()
+                if isinstance(exc, faults.FaultSpecError):
+                    # A malformed RKNNT_FAULTS spec must stay loud — were
+                    # it wrapped as a ReseedError the retry loop would
+                    # swallow it and the chaos run would inject nothing.
+                    raise
+                raise ReseedError(
+                    "pool reseed failed",
+                    workers=self.workers,
+                    start_method=self.start_method,
+                ) from exc
             self._pool_versions = (route_version, self.context.transition_index.version)
             self.pools_spawned += 1
         return self._pool
@@ -395,23 +510,39 @@ class ShardedExecutor:
         target = self.context.transition_index.version
         if target == self._pool_versions[1] and not self._sync_log:
             return None
-        return (target, tuple(self._sync_log))
+        deltas = tuple(self._sync_log)
+        if deltas and faults.fire(faults.SYNC_CORRUPT):
+            # Injected log corruption: drop the newest delta, so the worker
+            # replay deterministically falls short of the target version.
+            deltas = deltas[:-1]
+        return (target, deltas)
 
     @property
     def arena(self) -> Optional[arena_module.DatasetArena]:
         """The currently published dataset arena (``None`` off/fallback)."""
         return self._arena
 
+    @property
+    def degraded(self) -> bool:
+        """True once the executor answers in process (reseed budget spent)."""
+        return self._degraded
+
     def close(self) -> None:
         """Shut the pool down and destroy the published arena (idempotent).
 
-        Unlinking the segment while late workers still map it is safe: the
-        OS keeps the backing memory alive until the last detach, and new
-        pools publish a fresh segment.
+        Also resets degradation: a closed executor starts its next batch
+        healthy, on a fresh pool.  Unlinking the segment while late workers
+        still map it is safe: the OS keeps the backing memory alive until
+        the last detach, and new pools publish a fresh segment.
         """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self._reset_pool_state()
+        self._degraded = False
+        self.last_failure = None
+
+    def _reset_pool_state(self) -> None:
         if self._arena is not None:
             self._arena.close()
             self._arena = None
@@ -419,6 +550,21 @@ class ShardedExecutor:
         self._sync_log = []
         self._sync_overflow = False
         self._pool_versions = (-1, -1)
+
+    def _abort_pool(self) -> None:
+        """Tear the pool down *hard*: cancel queued tasks and terminate
+        workers instead of waiting for them — the deadline path must not
+        block behind a worker that may never return."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)
+        self._reset_pool_state()
 
     def __enter__(self) -> "ShardedExecutor":
         return self
@@ -443,34 +589,111 @@ class ShardedExecutor:
             for start in range(0, len(jobs), chunk)
         ]
 
-    def _submit_all(
-        self, fn: Callable, payloads: List[Tuple[int, Any]]
+    def _collect(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        fn: Callable,
+        payloads: List[Tuple[int, Any]],
+        sync: Sync,
+        deadline: Optional[Deadline],
     ) -> List[Tuple[int, Any]]:
-        """Run every ``(base_index, payload)`` task, surviving one crash.
+        """Submit every task and gather results, windowed and time-bounded.
 
-        A worker dying mid-task (OOM kill, segfault, ``os._exit``) breaks
-        the whole ``ProcessPoolExecutor``; tasks are pure and sync replay is
-        idempotent, so the executor reseeds once and replays the workload.
-        A second consecutive break propagates — that is a systemic failure,
-        not a stray crash.
+        Submission happens in windows of at most ``queue_limit`` futures
+        (all at once when unbounded), so a bounded executor never buffers
+        more than its admission limit.  Each ``future.result`` wait is
+        capped by the deadline's remaining budget; on expiry the pool is
+        aborted (hung workers terminated) and
+        :class:`~repro.engine.resilience.DeadlineExceeded` raised.
         """
-        for attempt in (0, 1):
-            pool = self._ensure_pool()
-            sync = self._current_sync()
-            try:
-                # A pool broken by an earlier crash raises at submit time,
-                # one broken mid-run raises from result(): both recover.
+        window = self.queue_limit if self.queue_limit > 0 else len(payloads)
+        gathered: List[Tuple[int, Any]] = []
+        with self._gate.admitted(len(payloads), what="batch"):
+            for start in range(0, len(payloads), window):
+                if deadline is not None:
+                    deadline.check("batch")
                 futures = [
                     pool.submit(fn, (base_index, payload, sync))
-                    for base_index, payload in payloads
+                    for base_index, payload in payloads[start : start + window]
                 ]
-                return [future.result() for future in futures]
-            except BrokenProcessPool:
+                for future in futures:
+                    timeout = (
+                        None if deadline is None else max(0.0, deadline.remaining())
+                    )
+                    try:
+                        gathered.append(future.result(timeout=timeout))
+                    except concurrent.futures.TimeoutError:
+                        self._abort_pool()
+                        raise DeadlineExceeded(
+                            "batch exceeded its deadline with tasks in flight",
+                            budget_ms=deadline.budget_ms,
+                            completed=len(gathered),
+                            tasks=len(payloads),
+                        ) from None
+        return gathered
+
+    def _submit_all(
+        self,
+        fn: Callable,
+        payloads: List[Tuple[int, Any]],
+        deadline: Optional[Deadline] = None,
+    ) -> List[Tuple[int, Any]]:
+        """Run every ``(base_index, payload)`` task under the retry policy.
+
+        A worker dying mid-task (OOM kill, segfault, ``os._exit``) breaks
+        the whole ``ProcessPoolExecutor``; a corrupted sync log surfaces as
+        a :class:`~repro.engine.resilience.SyncLogError` from the replay.
+        Tasks are pure and sync replay is idempotent, so both recover the
+        same way: reseed the pool and replay the workload, up to
+        ``RKNNT_MAX_RESEEDS`` consecutive times with jittered backoff
+        between attempts.  Past the budget the last typed failure
+        propagates (the caller degrades to in-process execution).
+        """
+        budget = resilience.max_reseeds()
+        attempt = 0
+        while True:
+            if deadline is not None:
+                deadline.check("batch")
+            failure: RkNNTError
+            try:
+                pool = self._ensure_pool()
+                sync = self._current_sync()
+                # A pool broken by an earlier crash raises at submit time,
+                # one broken mid-run raises from result(): both recover.
+                results = self._collect(pool, fn, payloads, sync, deadline)
+                self.retry_policy.reset()
+                return results
+            except BrokenProcessPool as exc:
                 self.close()
-                if attempt:
-                    raise
                 self.crash_recoveries += 1
-        raise AssertionError("unreachable")  # pragma: no cover
+                failure = WorkerCrashError(
+                    "pool worker crashed mid-batch",
+                    attempt=attempt,
+                    tasks=len(payloads),
+                )
+                failure.__cause__ = exc
+            except SyncLogError as exc:
+                self.close()
+                self.sync_recoveries += 1
+                failure = exc
+            except ReseedError as exc:
+                self.reseed_failures += 1
+                failure = exc
+            if attempt >= budget:
+                raise failure
+            attempt += 1
+            self.retry_policy.pause(deadline)
+
+    def _degrade(self, failure: RkNNTError) -> None:
+        """Give up on the pool for this executor's remaining lifetime (until
+        :meth:`close`) and answer in process — identical results, reduced
+        throughput."""
+        self.close()
+        self._degraded = True
+        self.last_failure = failure
+        _LOGGER.warning(
+            "serving pool degraded to in-process execution after %s", failure
+        )
 
     def run(
         self,
@@ -478,12 +701,17 @@ class ShardedExecutor:
         k: int,
         plan: QueryPlan,
         semantics: Union[Semantics, str] = EXISTS,
+        deadline: Optional[Deadline] = None,
     ) -> List[RkNNTResult]:
         """Answer every job of the workload, preserving workload order.
 
         ``jobs`` pairs each query's normalised points with its excluded
         route ids.  The return list is index-aligned with ``jobs`` — shard
-        completion order never leaks into the results.
+        completion order never leaks into the results.  ``deadline`` bounds
+        the whole batch; :class:`~repro.engine.resilience.DeadlineExceeded`
+        and :class:`~repro.engine.resilience.PoolSaturated` propagate to
+        the caller, every other pool failure is absorbed by retrying and,
+        past the budget, by degrading to the identical in-process path.
         """
         semantics = Semantics.coerce(semantics)
         # Resolve every "auto" knob in the parent so each worker runs the
@@ -492,14 +720,54 @@ class ShardedExecutor:
         job_list = list(jobs)
         if not job_list:
             return []
+        if self._degraded:
+            return self._run_serial(job_list, k, plan, semantics, deadline)
         payloads = self._shard_payloads(job_list, k, plan, semantics)
+        try:
+            shard_results = self._submit_all(_run_shard, payloads, deadline=deadline)
+        except (DeadlineExceeded, PoolSaturated):
+            raise
+        except (RkNNTError, BrokenProcessPool) as exc:
+            self._degrade(exc)
+            return self._run_serial(job_list, k, plan, semantics, deadline)
         results: List[Optional[RkNNTResult]] = [None] * len(job_list)
-        for base_index, shard_results in self._submit_all(_run_shard, payloads):
-            results[base_index : base_index + len(shard_results)] = shard_results
+        for base_index, shard in shard_results:
+            results[base_index : base_index + len(shard)] = shard
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
-    def run_standing(self, jobs: Sequence[Tuple[Any, ...]]) -> List[Any]:
+    def _run_serial(
+        self,
+        job_list: List[ShardJob],
+        k: int,
+        plan: QueryPlan,
+        semantics: Semantics,
+        deadline: Optional[Deadline],
+    ) -> List[RkNNTResult]:
+        """The degraded path: the exact code ``workers=0`` runs, in process."""
+        self.degraded_runs += 1
+        results = []
+        for query_points, excluded in job_list:
+            if deadline is not None:
+                deadline.check("query")
+            results.append(
+                execute(
+                    self.context,
+                    query_points,
+                    k,
+                    plan,
+                    semantics,
+                    exclude_route_ids=excluded,
+                    deadline=deadline,
+                )
+            )
+        return results
+
+    def run_standing(
+        self,
+        jobs: Sequence[Tuple[Any, ...]],
+        deadline: Optional[Deadline] = None,
+    ) -> List[Any]:
         """Rebuild a batch of standing queries in the pool, workload-ordered.
 
         Each job is ``(sub_queries, k, plan, excluded)`` — one per
@@ -507,22 +775,46 @@ class ShardedExecutor:
         ``(confirmed map, stats, filter set)`` tuples ready for
         :meth:`repro.engine.continuous.Subscription` to re-install.  One
         task per subscription: standing rebuilds are heavyweight, so load
-        balance beats batching.
+        balance beats batching.  The failure policy matches :meth:`run`.
         """
         job_list = list(jobs)
         if not job_list:
             return []
+        if self._degraded:
+            return self._standing_serial(job_list, deadline)
         payloads = [
             (index, (sub_queries, k, plan.resolved(), excluded))
             for index, (sub_queries, k, plan, excluded) in enumerate(job_list)
         ]
+        try:
+            gathered = self._submit_all(_run_standing, payloads, deadline=deadline)
+        except (DeadlineExceeded, PoolSaturated):
+            raise
+        except (RkNNTError, BrokenProcessPool) as exc:
+            self._degrade(exc)
+            return self._standing_serial(job_list, deadline)
         results: List[Any] = [None] * len(job_list)
-        for base_index, parts in self._submit_all(_run_standing, payloads):
+        for base_index, parts in gathered:
             results[base_index] = parts
         return results
 
+    def _standing_serial(
+        self, job_list: List[Tuple[Any, ...]], deadline: Optional[Deadline]
+    ) -> List[Any]:
+        self.degraded_runs += 1
+        results = []
+        for sub_queries, k, plan, excluded in job_list:
+            if deadline is not None:
+                deadline.check("standing rebuild")
+            results.append(
+                standing_parts(self.context, (sub_queries, k, plan.resolved(), excluded))
+            )
+        return results
+
     def __repr__(self) -> str:
-        state = "open" if self._pool is not None else "idle"
+        state = "degraded" if self._degraded else (
+            "open" if self._pool is not None else "idle"
+        )
         arena = self._arena.name if self._arena is not None else None
         return (
             f"ShardedExecutor(workers={self.workers}, "

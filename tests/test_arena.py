@@ -8,15 +8,17 @@ collection), thresholds and kill-switches fall back to the pickle path,
 and a stale handle degrades gracefully instead of corrupting a worker.
 """
 
+import dataclasses
 import gc
 import pickle
 
 import pytest
 
 from repro.core.rknnt import RkNNTProcessor
-from repro.engine import arena, parallel
+from repro.engine import arena, faults, parallel
 from repro.engine.executor import run_stages
 from repro.engine.plan import QueryPlan
+from repro.engine.resilience import ArenaAttachError
 from repro.geometry.kernels import numpy_available
 from repro.index.rtree import RTree, RTreeEntry
 
@@ -189,6 +191,105 @@ class TestPublishAttach:
         finally:
             parallel._WORKER_CONTEXT = None
             parallel._WORKER_ARENA = None
+
+
+class TestAttachFailures:
+    """Every way an attach can fail must surface as a typed
+    :class:`ArenaAttachError` (or degrade a worker to the private-rebuild
+    path) — never a dead worker, never a wrong answer."""
+
+    @needs_numpy
+    def test_unlinked_segment_raises_typed_error(self, fresh_processor):
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        handle = published.handle
+        published.close()  # unlinked before any attach
+        clone = pickle.loads(pickle.dumps(context))
+        with pytest.raises(ArenaAttachError) as excinfo:
+            arena.attach_arena(handle, clone)
+        assert excinfo.value.context["segment"] == handle.name
+
+    @needs_numpy
+    def test_tree_layout_mismatch_raises_typed_error(self, fresh_processor):
+        """A handle whose tree region disagrees with the attacher's walk
+        (publisher and attacher out of sync) aborts with walked/published
+        byte counts in the error context."""
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        try:
+            bad_trees = tuple(
+                dataclasses.replace(spec, rows=spec.rows + 1)
+                for spec in published.handle.trees
+            )
+            bad_handle = dataclasses.replace(published.handle, trees=bad_trees)
+            clone = pickle.loads(pickle.dumps(context))
+            with pytest.raises(ArenaAttachError) as excinfo:
+                arena.attach_arena(bad_handle, clone)
+            assert excinfo.value.context["walked"] != (
+                excinfo.value.context["published"]
+            )
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_worker_survives_sidecar_shape_mismatch(self, fresh_processor):
+        """A columnar sidecar whose shape disagrees with the tree (e.g. a
+        truncated NList offsets column) degrades the worker to the private
+        rebuild — answers stay identical."""
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        try:
+            bad_columns = tuple(
+                dataclasses.replace(spec, rows=max(0, spec.rows - 1))
+                if spec.key == "nlist_offsets"
+                else spec
+                for spec in published.handle.columns
+            )
+            assert bad_columns != published.handle.columns
+            bad_handle = dataclasses.replace(
+                published.handle, columns=bad_columns
+            )
+            payload = pickle.dumps(context)
+            parallel._initialize_worker(payload, bad_handle)
+            try:
+                assert parallel._WORKER_ARENA is None
+                worker_context = parallel._WORKER_CONTEXT
+                plan = QueryPlan.for_method("voronoi", backend="numpy")
+                query = [(2.0, 2.0), (3.0, 2.5)]
+                expected, _ = run_stages(context, query, K, plan)
+                actual, _ = run_stages(worker_context, query, K, plan)
+                assert actual == expected
+            finally:
+                parallel._WORKER_CONTEXT = None
+                parallel._WORKER_ARENA = None
+        finally:
+            published.close()
+
+    @needs_numpy
+    def test_worker_survives_injected_attach_fault(self, fresh_processor):
+        """The arena_attach injection point, through the real worker
+        initializer: the fault fires, the worker falls back, answers match."""
+        context = fresh_processor.engine_context
+        published = arena.publish_arena(context, min_bytes=0)
+        try:
+            payload = pickle.dumps(context)
+            with faults.injected("arena_attach:count=1") as runtime:
+                parallel._initialize_worker(payload, published.handle, runtime)
+            try:
+                assert runtime.fire_count(faults.ARENA_ATTACH) == 1
+                assert parallel._WORKER_ARENA is None
+                worker_context = parallel._WORKER_CONTEXT
+                plan = QueryPlan.for_method("voronoi", backend="numpy")
+                query = [(2.0, 2.0), (3.0, 2.5)]
+                expected, _ = run_stages(context, query, K, plan)
+                actual, _ = run_stages(worker_context, query, K, plan)
+                assert actual == expected
+            finally:
+                parallel._WORKER_CONTEXT = None
+                parallel._WORKER_ARENA = None
+                faults.uninstall()
+        finally:
+            published.close()
 
 
 class TestThresholdsAndFallbacks:

@@ -235,6 +235,74 @@ class TestPlan:
             )
 
 
+class TestServe:
+    def _run(self, data_dir, stream_path, *extra):
+        return main(
+            ["serve", "--data-dir", data_dir, "--input", str(stream_path)]
+            + list(extra)
+        )
+
+    def test_serve_answers_a_clean_stream(self, data_dir, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("1.0 0.3 7.0 0.2\n1.0 4.2\n")
+        assert self._run(data_dir, stream) == 0
+        out = capsys.readouterr().out
+        assert "served 2 queries" in out
+        assert "rejected" not in out
+
+    def test_malformed_lines_rejected_serving_continues(
+        self, data_dir, tmp_path, capsys
+    ):
+        """Satellite 2: every malformed stream line — odd coordinates,
+        non-numeric fields, duplicate insert, unknown delete — is rejected
+        with a typed warning while the well-formed rest still serves."""
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "1.0 0.3 7.0 0.2\n"      # good query
+            "1.0 2.0 3.0\n"          # odd coordinate count
+            "1.0 fast\n"             # non-numeric coordinate
+            "+ 0 1.0 1.0 2.0 2.0\n"  # duplicate insert (id 0 exists)
+            "- 424242\n"             # unknown delete
+            "+ 9000 one 1.0 2.0 2.0\n"  # non-numeric update field
+            "+ 9001 1.0 0.4 6.5 0.1\n"  # good insert
+            "1.0 4.2\n"              # good query, post-update
+        )
+        assert self._run(data_dir, stream) == 0
+        captured = capsys.readouterr()
+        assert "served 2 queries" in captured.out
+        assert "1 updates applied" in captured.out
+        assert "rejected 5 malformed lines" in captured.out
+        assert captured.err.count("rejected line") == 5
+        assert "already present" in captured.err
+        assert "not in dataset" in captured.err
+        assert "non-numeric field" in captured.err
+        assert "non-numeric coordinate" in captured.err
+        assert "even number of coordinates" in captured.err
+
+    def test_stream_of_only_garbage_is_an_error(self, data_dir, tmp_path):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("nope\n@ bad op\n")
+        with pytest.raises(SystemExit):
+            self._run(data_dir, stream)
+
+    def test_generous_deadline_serves_normally(self, data_dir, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("1.0 0.3 7.0 0.2\n")
+        assert self._run(data_dir, stream, "--deadline-ms", "60000") == 0
+        out = capsys.readouterr().out
+        assert "served 1 queries" in out
+        assert "dropped" not in out
+
+    def test_missed_deadline_drops_the_batch(self, data_dir, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("1.0 0.3 7.0 0.2\n1.0 4.2\n")
+        assert self._run(data_dir, stream, "--deadline-ms", "0.000001") == 0
+        captured = capsys.readouterr()
+        assert "served 0 queries" in captured.out
+        assert "dropped 2 queries in 1 batches" in captured.out
+        assert "queries dropped" in captured.err
+
+
 class TestWatch:
     @pytest.fixture
     def update_log(self, tmp_path):
@@ -295,36 +363,45 @@ class TestWatch:
                 ]
             )
 
-    def test_watch_rejects_unknown_delete(self, data_dir, tmp_path):
+    def test_watch_rejects_unknown_delete(self, data_dir, tmp_path, capsys):
+        # An unknown delete is rejected with a warning; the watch completes.
         bad = tmp_path / "bad.log"
         bad.write_text("- 424242\n")
-        with pytest.raises(SystemExit):
-            main(
-                [
-                    "watch",
-                    "--data-dir",
-                    data_dir,
-                    "--point",
-                    "1.0",
-                    "0.0",
-                    "--updates",
-                    str(bad),
-                ]
-            )
+        code = main(
+            [
+                "watch",
+                "--data-dir",
+                data_dir,
+                "--point",
+                "1.0",
+                "0.0",
+                "--updates",
+                str(bad),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err
+        assert "424242" in captured.err
+        assert "verified against a fresh query" in captured.out
 
-    def test_watch_rejects_duplicate_insert(self, data_dir, tmp_path):
+    def test_watch_rejects_duplicate_insert(self, data_dir, tmp_path, capsys):
         bad = tmp_path / "bad.log"
         bad.write_text("+ 0 1.0 1.0 2.0 2.0\n")
-        with pytest.raises(SystemExit):
-            main(
-                [
-                    "watch",
-                    "--data-dir",
-                    data_dir,
-                    "--point",
-                    "1.0",
-                    "0.0",
-                    "--updates",
-                    str(bad),
-                ]
-            )
+        code = main(
+            [
+                "watch",
+                "--data-dir",
+                data_dir,
+                "--point",
+                "1.0",
+                "0.0",
+                "--updates",
+                str(bad),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err
+        assert "already present" in captured.err
+        assert "verified against a fresh query" in captured.out

@@ -7,8 +7,9 @@ The serving contract, per method × semantics × backend:
 element-wise, in workload order — plus the lifecycle guarantees that make
 the pool safe to keep alive: transition churn is delta-synced into the
 workers (no reseed), route churn reseeds transparently, a worker crash
-mid-query is recovered from once, and no shared-memory segment outlives
-its pool (exit, crash and double-close included).
+mid-query is recovered from by bounded reseed-and-replay (the full fault
+matrix lives in test_resilience.py), and no shared-memory segment
+outlives its pool (exit, crash and double-close included).
 """
 
 import os
