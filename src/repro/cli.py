@@ -1,6 +1,6 @@
 """Command-line interface for the RkNNT library.
 
-Six sub-commands cover the typical workflows without writing any Python:
+Seven sub-commands cover the typical workflows without writing any Python:
 
 ``generate``
     Build a synthetic city (routes + transitions) and save it as CSV files.
@@ -11,6 +11,11 @@ Six sub-commands cover the typical workflows without writing any Python:
     Long-running serving loop: stream query batches (and interleaved
     transition updates) from a file or stdin through one persistent worker
     pool with shared-memory dataset arenas.
+``server``
+    Network serving front-end: a TCP server speaking the newline-framed
+    JSON protocol of :mod:`repro.engine.protocol`, coalescing queries
+    from many concurrent client connections into micro-batches over one
+    persistent pool (:mod:`repro.engine.server`).
 ``watch``
     Register a standing query and replay a transition update log against
     it, printing the incremental result deltas (the continuous-query
@@ -29,10 +34,14 @@ Example session::
         --point 3.0 4.0 --point 5.0 4.5
     python -m repro.cli serve --data-dir ./data --k 5 \\
         --input queries.txt --workers 4
+    python -m repro.cli server --data-dir ./data --k 5 --port 8765 --workers 4
     python -m repro.cli watch --data-dir ./data --k 5 \\
         --point 3.0 4.0 --updates updates.log
     python -m repro.cli capacity --data-dir ./data --k 5 --top 10
     python -m repro.cli plan --data-dir ./data --k 5 --start 0 --end 17 --ratio 1.4
+
+The module also ships :class:`LineClient`, the reference client for the
+``server`` wire protocol (used by the test suite and ``bench_server.py``).
 """
 
 from __future__ import annotations
@@ -185,6 +194,79 @@ def build_parser() -> argparse.ArgumentParser:
             "the pool reseeds) and serving continues; default: "
             "RKNNT_DEADLINE_MS, unset = no deadline"
         ),
+    )
+
+    server = subparsers.add_parser(
+        "server",
+        help="network front-end: serve many clients over one pool (TCP)",
+    )
+    _add_data_arguments(server)
+    server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    server.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed on startup)",
+    )
+    server.add_argument(
+        "--method", choices=METHODS, default=VORONOI, help="default query method"
+    )
+    server.add_argument(
+        "--semantics", choices=("exists", "forall"), default="exists"
+    )
+    server.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "size of the persistent serving pool batches dispatch through "
+            "(0 = answer in-process, still micro-batched)"
+        ),
+    )
+    server.add_argument(
+        "--window-ms",
+        type=float,
+        default=None,
+        help=(
+            "micro-batch coalescing window in milliseconds (default: "
+            "RKNNT_SERVER_WINDOW_MS, else 2)"
+        ),
+    )
+    server.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help=(
+            "max queries per coalesced batch (default: "
+            "RKNNT_SERVER_MAX_BATCH, else 64)"
+        ),
+    )
+    server.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-batch time budget; queries of a batch that misses it get "
+            "typed deadline_exceeded replies (default: RKNNT_DEADLINE_MS)"
+        ),
+    )
+    server.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help=(
+            "max admitted-but-unanswered queries; past it clients get "
+            "immediate typed pool_saturated replies instead of unbounded "
+            "buffering (default: RKNNT_QUEUE_LIMIT, 0 = unbounded)"
+        ),
+    )
+    server.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method of the serving pool",
     )
 
     watch = subparsers.add_parser(
@@ -605,6 +687,199 @@ def command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+class LineClient:
+    """Reference client for the ``server`` wire protocol.
+
+    A deliberately boring, dependency-free *blocking* socket client — it
+    demonstrates that the protocol needs nothing beyond a line reader
+    and a JSON parser.  One instance per connection; safe to use from
+    one thread at a time.  Unsolicited ``watch`` events arriving between
+    replies are buffered and drained via :meth:`events`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        import socket
+
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._events: List[dict] = []
+
+    # -- plumbing ------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and block for its reply (buffering events)."""
+        import json
+
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"id": request_id, "op": op}
+        payload.update(fields)
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(line.decode("utf-8"))
+            if "event" in message:
+                self._events.append(message)
+                continue
+            if message.get("id") not in (request_id, None):
+                raise ConnectionError(
+                    f"out-of-order reply: sent id {request_id}, "
+                    f"got {message.get('id')}"
+                )
+            return message
+
+    def events(self) -> List[dict]:
+        """Drain the buffered unsolicited events (oldest first)."""
+        drained = self._events
+        self._events = []
+        return drained
+
+    def pump_events(self, minimum: int = 1, attempts: int = 50) -> List[dict]:
+        """Ping until at least ``minimum`` events arrived, then drain them.
+
+        Event pushes race the reply stream; a ``ping`` round-trip after
+        each check gives the server a serialization point to flush them.
+        """
+        for _ in range(attempts):
+            if len(self._events) >= minimum:
+                break
+            self.request("ping")
+        return self.events()
+
+    # -- typed helpers -------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def query(self, points, **fields) -> dict:
+        return self.request("query", points=[list(p) for p in points], **fields)
+
+    def insert(self, transition_id: int, origin, destination) -> dict:
+        return self.request(
+            "insert",
+            transition={
+                "id": transition_id,
+                "origin": list(origin),
+                "destination": list(destination),
+            },
+        )
+
+    def delete(self, transition_id: int) -> dict:
+        return self.request("delete", transition_id=transition_id)
+
+    def watch(self, points, **fields) -> dict:
+        return self.request("watch", points=[list(p) for p in points], **fields)
+
+    def unwatch(self, watch_id: int) -> dict:
+        return self.request("unwatch", watch=watch_id)
+
+    def send_raw(self, line: str) -> dict:
+        """Send a raw protocol line verbatim and read one reply."""
+        import json
+
+        self._file.write((line.rstrip("\n") + "\n").encode("utf-8"))
+        self._file.flush()
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(raw.decode("utf-8"))
+            if "event" in message:
+                self._events.append(message)
+                continue
+            return message
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LineClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def command_server(args: argparse.Namespace) -> int:
+    """Network serving front-end (see :mod:`repro.engine.server`)."""
+    import asyncio
+    import signal
+
+    from repro.engine.server import RkNNTServer
+
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be non-negative")
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions)
+    server = RkNNTServer(
+        processor,
+        host=args.host,
+        port=args.port,
+        k=args.k,
+        method=args.method,
+        semantics=args.semantics,
+        workers=args.workers,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms,
+        queue_limit=args.queue_limit,
+        start_method=args.start_method,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"serving RkNNT on {server.host}:{server.port} "
+            f"(workers={server.workers}, window={server.window_ms} ms, "
+            f"max-batch={server.max_batch}); stop with SIGINT/SIGTERM",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal handlers
+        try:
+            await stop.wait()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        processor.close()
+    stats = server.stats
+    print(
+        f"served {stats['queries']} queries in {stats['batches']} batches "
+        f"(largest {stats['max_batch_coalesced']}), {stats['updates']} updates, "
+        f"{stats['events_pushed']} events pushed, "
+        f"{stats['connections']} connections"
+    )
+    rejected = (
+        stats["rejected_protocol"]
+        + stats["rejected_updates"]
+        + stats["rejected_saturated"]
+    )
+    if rejected:
+        print(
+            f"rejected: {stats['rejected_protocol']} malformed requests, "
+            f"{stats['rejected_updates']} bad updates, "
+            f"{stats['rejected_saturated']} saturated"
+        )
+    return 0
+
+
 def _load_update_log(path: str):
     """Parse an update log: ``+ ID OX OY DX DY`` inserts, ``- ID`` deletes.
 
@@ -795,6 +1070,7 @@ COMMANDS = {
     "generate": command_generate,
     "query": command_query,
     "serve": command_serve,
+    "server": command_server,
     "watch": command_watch,
     "capacity": command_capacity,
     "plan": command_plan,

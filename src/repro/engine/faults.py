@@ -219,7 +219,12 @@ class FaultRuntime:
     """
 
     def __init__(self, specs: Tuple[FaultSpec, ...], mp_context=None):
-        ctx = mp_context if mp_context is not None else multiprocessing
+        # Default the shared counters to the *spawn* context: its named
+        # semaphores pickle into spawn/forkserver pools and fork children
+        # inherit them, so one runtime is safe under every start method.
+        # A fork-context SemLock by contrast raises at pickling time the
+        # moment an env-installed schedule meets a spawn pool.
+        ctx = mp_context if mp_context is not None else multiprocessing.get_context("spawn")
         self.specs = tuple(specs)
         self._states: Dict[str, List[_ClauseState]] = {}
         for spec in self.specs:

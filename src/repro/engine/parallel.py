@@ -80,6 +80,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+import threading
 from concurrent.futures.process import BrokenProcessPool
 from typing import (
     Any,
@@ -325,6 +326,54 @@ def _preferred_start_method() -> str:
         if "fork" in methods:
             return "fork"
     return multiprocessing.get_start_method(allow_none=False)
+
+
+class BatchHandle:
+    """A flushed batch in flight on its own dispatch thread.
+
+    The network front-end (:mod:`repro.engine.server`) must keep its
+    event loop responsive while a batch blocks in ``future.result`` /
+    serial execution, so each flush runs ``runner`` on a dedicated daemon
+    thread and exposes the outcome through a
+    :class:`concurrent.futures.Future` (``asyncio.wrap_future`` awaits it
+    without polling).
+
+    Deliberately *not* tied to :meth:`ShardedExecutor.close`: the
+    executor's crash-recovery retry loop calls ``close()`` mid-batch to
+    reseed the pool, and tearing the dispatch thread down with it would
+    abort the very retry that is saving the batch.
+    """
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self, runner: Callable[[], Any], label: Optional[str] = None):
+        with BatchHandle._counter_lock:
+            BatchHandle._counter += 1
+            number = BatchHandle._counter
+        self.future: "concurrent.futures.Future[Any]" = concurrent.futures.Future()
+        self._thread = threading.Thread(
+            target=self._drive,
+            args=(runner,),
+            name=label or f"rknnt-batch-{number}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _drive(self, runner: Callable[[], Any]) -> None:
+        if not self.future.set_running_or_notify_cancel():
+            return
+        try:
+            self.future.set_result(runner())
+        except BaseException as exc:  # noqa: BLE001 — relayed, not swallowed
+            self.future.set_exception(exc)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the batch outcome (re-raising its failure, if any)."""
+        return self.future.result(timeout=timeout)
 
 
 class ShardedExecutor:
@@ -735,6 +784,27 @@ class ShardedExecutor:
             results[base_index : base_index + len(shard)] = shard
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
+
+    def run_handle(
+        self,
+        jobs: Sequence[ShardJob],
+        k: int,
+        plan: QueryPlan,
+        semantics: Union[Semantics, str] = EXISTS,
+        deadline: Optional[Deadline] = None,
+    ) -> BatchHandle:
+        """:meth:`run` on a background dispatch thread.
+
+        Returns immediately with a :class:`BatchHandle` whose future
+        resolves to the workload-ordered result list (or the typed
+        failure :meth:`run` would have raised).  Callers must not start a
+        second handle before the first resolves — the executor serialises
+        batches by design, and the server's dispatcher enforces exactly
+        that.
+        """
+        return BatchHandle(
+            lambda: self.run(jobs, k, plan, semantics, deadline=deadline)
+        )
 
     def _run_serial(
         self,

@@ -125,7 +125,14 @@ class RkNNTError(RuntimeError):
     ``context`` carries structured key/value detail (shard index, attempt
     number, versions, …); it is rendered into ``str(error)`` and survives
     pickling across the worker → parent process boundary.
+
+    ``wire_code`` is the *stable* machine-readable identifier the network
+    protocol (:mod:`repro.engine.protocol`) puts in error replies.  Class
+    names may be refactored; wire codes are a compatibility contract and
+    must never change once shipped.
     """
+
+    wire_code: str = "internal"
 
     def __init__(self, message: str, **context: Any):
         super().__init__(message)
@@ -147,24 +154,34 @@ class RkNNTError(RuntimeError):
 class WorkerCrashError(RkNNTError):
     """A pool worker died mid-task and the reseed budget is exhausted."""
 
+    wire_code = "worker_crash"
+
 
 class ReseedError(RkNNTError):
     """Re-seeding the pool (arena publish, context pickle, spawn) failed."""
+
+    wire_code = "reseed_failed"
 
 
 class SyncLogError(RkNNTError):
     """The delta-sync replay could not reproduce the parent's version —
     a gap or truncation in the shipped log.  Recoverable by reseeding."""
 
+    wire_code = "sync_log_corrupt"
+
 
 class ArenaAttachError(RkNNTError):
     """A worker failed to attach the shared-memory dataset arena.
     Recoverable in-place: the worker rebuilds its caches privately."""
 
+    wire_code = "arena_attach_failed"
+
 
 class DeadlineExceeded(RkNNTError):
     """The query/batch ran past its :class:`Deadline`.  Never retried —
     retrying cannot make a missed budget reappear."""
+
+    wire_code = "deadline_exceeded"
 
 
 class PoolSaturated(RkNNTError):
@@ -172,11 +189,26 @@ class PoolSaturated(RkNNTError):
     bounded in-flight queue (``RKNNT_QUEUE_LIMIT``).  Explicit
     backpressure — the caller sheds load or retries later."""
 
+    wire_code = "pool_saturated"
+
 
 class UpdateStreamError(RkNNTError, ValueError):
     """A malformed line in a ``serve``/``watch`` update stream (bad op
     code, non-numeric id, truncated tuple).  The line is rejected and
     logged; serving continues."""
+
+    wire_code = "bad_update"
+
+
+def wire_code(error: BaseException) -> str:
+    """Stable wire-facing code for *any* exception.
+
+    Typed runtime errors carry their own ``wire_code``; everything else —
+    a plain ``ValueError`` from request validation, an unexpected bug —
+    collapses to ``"internal"`` so the protocol never leaks class names.
+    """
+    code = getattr(error, "wire_code", None)
+    return code if isinstance(code, str) and code else "internal"
 
 
 # ----------------------------------------------------------------------

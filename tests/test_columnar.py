@@ -326,3 +326,76 @@ class TestDynamicUpdatesAfterDecode:
         decoded.remove_route(removed)
         for key, ids in processor.route_index.plist.sorted_items():
             assert decoded.crossover_routes(key) == frozenset(ids)
+
+
+# ----------------------------------------------------------------------
+# Spawn-leg coverage: the columnar decode path workers actually exercise
+# ----------------------------------------------------------------------
+import multiprocessing
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+class TestStartMethodLegs:
+    """Workers decode the context from its columnar pickle; ``spawn``
+    workers additionally re-import the package from scratch.  Both legs
+    must answer identically to the in-process serial path, including after
+    mutations that force the packed columns to materialise private copies."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_sharded_answers_match_serial_after_mutation(
+        self, mini_city, mini_transitions, start_method
+    ):
+        from repro.engine.parallel import ShardedExecutor
+
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        new_id = mini_transitions.next_id()
+        processor.add_transition(Transition(new_id, (2.05, 2.05), (2.9, 2.4)))
+        try:
+            plan = QueryPlan.for_method("voronoi")
+            jobs = [(query, None) for query in QUERIES]
+            serial = [
+                execute(processor.engine_context, query, K, plan, "exists")
+                for query in QUERIES
+            ]
+            with ShardedExecutor(
+                processor.engine_context, workers=2, start_method=start_method
+            ) as executor:
+                sharded = executor.run(jobs, K, plan, "exists")
+            assert not executor.degraded
+            for expected, actual in zip(serial, sharded):
+                assert actual.confirmed_endpoints == expected.confirmed_endpoints
+                assert new_id in actual.transition_ids or (
+                    new_id not in expected.transition_ids
+                )
+        finally:
+            processor.remove_transition(new_id)
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_decoded_clone_survives_the_pool(self, mini_city, mini_transitions, start_method):
+        """Mutation-after-decode, then shipped through a pool: the decoded
+        clone's columnar re-pickle is what the workers see."""
+        from repro.engine.parallel import ShardedExecutor
+
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        clone = pickle.loads(pickle.dumps(processor.engine_context))
+        new_id = mini_transitions.next_id()
+        transition = Transition(new_id, (2.05, 2.05), (2.9, 2.4))
+        processor.add_transition(transition)
+        clone.transition_index.transitions.add(transition)
+        clone.transition_index.add_transition(transition)
+        try:
+            plan = QueryPlan.for_method("voronoi")
+            jobs = [(query, None) for query in QUERIES]
+            with ShardedExecutor(
+                clone, workers=2, start_method=start_method
+            ) as executor:
+                sharded = executor.run(jobs, K, plan, "exists")
+            assert not executor.degraded
+            for query, actual in zip(QUERIES, sharded):
+                expected = execute(processor.engine_context, query, K, plan, "exists")
+                assert actual.confirmed_endpoints == expected.confirmed_endpoints
+        finally:
+            processor.remove_transition(new_id)

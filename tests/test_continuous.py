@@ -353,3 +353,50 @@ class TestEdgeCases:
             assert deltas[0].cause == CAUSE_REBUILD
             assert set(deltas[0].removed) == before - after
             assert set(deltas[0].added) == after - before
+
+
+# ----------------------------------------------------------------------
+# Spawn-leg coverage: subscription rebuilds dispatched through the pool
+# ----------------------------------------------------------------------
+import multiprocessing
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+class TestStartMethodLegs:
+    """`refresh_subscriptions()` shards the post-route-churn re-filters
+    across a live serving pool.  Both start methods must rebuild every
+    standing query to exactly the fresh-query answer — ``spawn`` workers
+    re-import the package and decode the context from its columnar pickle,
+    which is the leg production serving actually runs on."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_pooled_subscription_rebuild_matches_fresh(self, start_method):
+        routes, transitions = make_world(seed=77)
+        processor = RkNNTProcessor(routes, transitions)
+        try:
+            subscriptions = [
+                processor.watch(query, K, method=VORONOI, semantics=semantics)
+                for query in ([(2.0, 2.0)], QUERY)
+                for semantics in ("exists", "forall")
+            ]
+            with processor.serving_pool(workers=2, start_method=start_method) as pool:
+                processor.add_route(
+                    Route(routes.next_id(), [(1.5, 1.5), (2.5, 2.5), (4.0, 3.0)])
+                )
+                deltas = processor.refresh_subscriptions()
+                assert not pool.degraded
+            # Only the non-empty rebuild deltas are returned.
+            assert all(delta.cause == CAUSE_REBUILD for delta in deltas)
+            for subscription in subscriptions:
+                assert_matches_fresh(
+                    processor,
+                    subscription,
+                    subscription.query_points,
+                    VORONOI,
+                    subscription.semantics,
+                )
+        finally:
+            processor.close()

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.filtering import FilterRefineEngine
-from repro.core.knn import count_routes_within, query_distance
+from repro.core.knn import count_routes_within_sq, query_distance_sq
 from repro.geometry.bbox import BoundingBox
 from repro.index.route_index import RouteIndex
 from repro.index.transition_index import TransitionIndex
@@ -22,19 +22,23 @@ from repro.model.dataset import RouteDataset, TransitionDataset
 from repro.model.route import Route
 from repro.model.transition import Transition
 
-# Coordinates are drawn as float32-representable values (width=32): the
-# framework's predicates mix the linear half-plane corner test (filtering)
-# with squared-distance comparisons (verification, oracle).  The two are
-# algebraically equivalent, but subnormal coordinates (hypothesis happily
-# draws 5e-324) make the squared/product terms underflow to 0.0, where the
-# formulations can disagree and the filter may wrongly dominate an answer
-# endpoint.  float32 spacing keeps every coordinate and difference
-# ≥ ~1.4e-45, whose products and squares are normal float64s, matching the
-# physical coordinate domains the engine is specified for.
-coord = st.floats(
-    min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False, width=32
-)
+# Coordinates are full-precision float64 draws.  The framework's predicates
+# mix the linear half-plane corner test (filtering) with squared-distance
+# comparisons (verification, oracle); the two are algebraically equivalent
+# but can round to different sides of a *tie*, and subnormal coordinates
+# (hypothesis happily draws 5e-324) make the squared/product terms
+# underflow to 0.0, turning true orderings into exact squared-space ties.
+# The oracles below therefore compare in the same squared space as the
+# engine and skip squared-space near-ties (``squared_near_tie``), instead
+# of dodging the issue by narrowing the strategies to float32 as PR 3 did.
+coord = st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False)
 point = st.tuples(coord, coord)
+
+
+def squared_near_tie(d2_a, d2_b):
+    """True when two squared distances are close enough that differently
+    rounded expressions of the same comparison may disagree."""
+    return abs(d2_a - d2_b) <= 1e-9 * (1.0 + d2_a + d2_b)
 
 
 @st.composite
@@ -72,15 +76,15 @@ def test_is_filtered_never_prunes_a_result_endpoint(scenario):
             if engine.is_filtered(box, query):
                 # The endpoint must have at least k routes strictly closer
                 # than the query, i.e. it cannot be part of the answer.
-                threshold = query_distance(endpoint, query)
-                distances = [
-                    route.distance_to_point(endpoint) for route in routes
+                threshold_sq = query_distance_sq(endpoint, query)
+                distances_sq = [
+                    route.squared_distance_to_point(endpoint) for route in routes
                 ]
-                if any(abs(d - threshold) < 1e-9 for d in distances):
-                    # Exact geometric tie: different floating-point
-                    # expressions of the same comparison may disagree.
+                if any(squared_near_tie(d2, threshold_sq) for d2 in distances_sq):
+                    # Geometric tie: different floating-point expressions
+                    # of the same comparison may disagree.
                     continue
-                closer = count_routes_within(route_index, endpoint, threshold)
+                closer = count_routes_within_sq(route_index, endpoint, threshold_sq)
                 assert closer >= k
 
 
@@ -99,12 +103,14 @@ def test_candidates_plus_pruned_cover_all_endpoints_in_answers(scenario):
 
     for transition in transitions:
         for label, endpoint in (("o", transition.origin), ("d", transition.destination)):
-            threshold = query_distance(endpoint, normalised_query)
-            distances = [route.distance_to_point(endpoint) for route in routes]
-            if any(abs(d - threshold) < 1e-9 for d in distances):
-                # Exact geometric tie — see the note in the test above.
+            threshold_sq = query_distance_sq(endpoint, normalised_query)
+            distances_sq = [
+                route.squared_distance_to_point(endpoint) for route in routes
+            ]
+            if any(squared_near_tie(d2, threshold_sq) for d2 in distances_sq):
+                # Geometric tie — see the note in the test above.
                 continue
-            closer = count_routes_within(route_index, endpoint, threshold)
+            closer = count_routes_within_sq(route_index, endpoint, threshold_sq)
             if closer < k:
                 assert (transition.transition_id, label) in candidate_keys
 
@@ -122,14 +128,16 @@ def test_verification_confirms_exactly_the_true_endpoints(scenario):
 
     for transition in transitions:
         for label, endpoint in (("o", transition.origin), ("d", transition.destination)):
-            threshold = query_distance(endpoint, normalised_query)
-            distances = [route.distance_to_point(endpoint) for route in routes]
-            if any(abs(d - threshold) < 1e-9 for d in distances):
-                # Exact geometric tie between a route and the query: the
-                # engine and this re-computation use different (equally
-                # valid) floating-point expressions, so skip the comparison.
+            threshold_sq = query_distance_sq(endpoint, normalised_query)
+            distances_sq = [
+                route.squared_distance_to_point(endpoint) for route in routes
+            ]
+            if any(squared_near_tie(d2, threshold_sq) for d2 in distances_sq):
+                # Geometric tie between a route and the query: the engine
+                # and this re-computation use different (equally valid)
+                # floating-point expressions, so skip the comparison.
                 continue
-            closer = sum(1 for d in distances if d < threshold)
+            closer = sum(1 for d2 in distances_sq if d2 < threshold_sq)
             engine_says_yes = label in confirmed.get(transition.transition_id, set())
             assert engine_says_yes == (closer < k)
 

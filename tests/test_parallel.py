@@ -226,3 +226,52 @@ class TestPlanningShardedBuild:
                 vertex
             ), vertex
         assert sharded.report.vertices == serial.report.vertices
+
+
+class TestBatchHandle:
+    """The non-blocking dispatch primitive the network server flushes
+    micro-batches through."""
+
+    def test_handle_resolves_with_run_result(self, mini_processor, shard_queries):
+        from repro.engine.parallel import BatchHandle
+
+        context = mini_processor.engine_context
+        plan = QueryPlan.for_method(VORONOI)
+        jobs = [(query, None) for query in shard_queries]
+        with ShardedExecutor(context, workers=WORKERS) as executor:
+            serial = executor._run_serial(jobs, K, plan, "exists", None)
+            handle = executor.run_handle(jobs, K, plan)
+            assert isinstance(handle, BatchHandle)
+            results = handle.result(timeout=120)
+            assert handle.done()
+            assert [r.transition_ids for r in results] == [
+                r.transition_ids for r in serial
+            ]
+
+    def test_handle_surfaces_exceptions(self):
+        from repro.engine.parallel import BatchHandle
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        handle = BatchHandle(boom)
+        with pytest.raises(RuntimeError, match="kaput"):
+            handle.result(timeout=30)
+        assert handle.done()
+
+    def test_handle_runs_off_the_calling_thread(self):
+        import threading
+
+        from repro.engine.parallel import BatchHandle
+
+        seen = {}
+
+        def record():
+            seen["thread"] = threading.current_thread()
+            return 42
+
+        handle = BatchHandle(record, label="rknnt-test-handle")
+        assert handle.result(timeout=30) == 42
+        assert seen["thread"] is not threading.current_thread()
+        assert seen["thread"].name == "rknnt-test-handle"
+        assert seen["thread"].daemon

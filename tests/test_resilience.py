@@ -15,6 +15,8 @@ import pickle
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.rknnt import RkNNTProcessor
 from repro.data.checkins import TransitionGenerator
@@ -191,6 +193,149 @@ class TestFaultSpec:
 
 
 # ----------------------------------------------------------------------
+# Fault-spec grammar properties (hypothesis)
+# ----------------------------------------------------------------------
+_IDENT_ALPHABET = "abcdefghijklmnopqrstuvwxyz_"
+_OPTION_KEYS = sorted(faults._OPTION_KEYS)
+
+
+def _normalize(spec: FaultSpec) -> FaultSpec:
+    # ``render()`` omits prob/seed for always-fire clauses, so a seed on a
+    # prob=1 clause is unobservable; canonicalize it away for round-trips.
+    if spec.prob >= 1.0 and spec.seed != 0:
+        return FaultSpec(
+            spec.point, spec.after, spec.count, spec.prob, 0, spec.delay_ms
+        )
+    return spec
+
+
+def valid_clauses() -> st.SearchStrategy:
+    return st.builds(
+        FaultSpec,
+        point=st.sampled_from(sorted(faults.POINTS)),
+        after=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=0, max_value=10_000),
+        prob=st.one_of(
+            st.just(1.0),
+            st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                      allow_nan=False),
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+        delay_ms=st.one_of(
+            st.none(),
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                      allow_infinity=False),
+        ),
+    ).map(_normalize)
+
+
+def _identifiers(excluding=frozenset()) -> st.SearchStrategy:
+    return st.text(alphabet=_IDENT_ALPHABET, min_size=1, max_size=20).filter(
+        lambda name: name not in excluding
+    )
+
+
+class TestFaultSpecGrammarProperties:
+    """The ``RKNNT_FAULTS`` grammar, property-tested from both sides:
+    every valid spec survives parse → render → parse unchanged, and every
+    malformed spec raises :class:`FaultSpecError` — never a silent no-op
+    (a chaos run that injects nothing must not look like a green run)."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=valid_clauses())
+    def test_single_clause_roundtrips(self, spec):
+        assert parse_spec(spec.render()) == (spec,)
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=st.lists(valid_clauses(), min_size=1, max_size=5))
+    def test_multi_clause_roundtrips(self, specs):
+        text = ",".join(spec.render() for spec in specs)
+        assert parse_spec(text) == tuple(specs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        specs=st.lists(valid_clauses(), min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_whitespace_and_empty_clauses_are_insignificant(self, specs, data):
+        padded = []
+        for spec in specs:
+            left = data.draw(st.sampled_from(["", " ", "  ", "\t"]))
+            right = data.draw(st.sampled_from(["", " ", "  "]))
+            padded.append(f"{left}{spec.render()}{right}")
+            if data.draw(st.booleans()):
+                padded.append(" ")  # a blank clause between real ones
+        assert parse_spec(",".join(padded)) == tuple(specs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point=_identifiers(excluding=faults.POINTS))
+    def test_unknown_points_always_raise(self, point):
+        with pytest.raises(FaultSpecError):
+            parse_spec(point)
+        with pytest.raises(FaultSpecError):
+            parse_spec(f"{point}:after=1")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spec=valid_clauses(),
+        key=_identifiers(excluding=faults._OPTION_KEYS),
+        value=st.integers(min_value=0, max_value=100),
+    )
+    def test_unknown_option_keys_always_raise(self, spec, key, value):
+        with pytest.raises(FaultSpecError):
+            parse_spec(f"{spec.point}:{key}={value}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=valid_clauses(), key=st.sampled_from(_OPTION_KEYS),
+           value=st.text(alphabet=_IDENT_ALPHABET, min_size=1, max_size=10))
+    def test_non_numeric_values_always_raise(self, spec, key, value):
+        # "inf"/"nan" spell valid floats; everything else alphabetic must
+        # fail loudly rather than default.
+        try:
+            float(value)
+        except ValueError:
+            pass
+        else:
+            return
+        with pytest.raises(FaultSpecError):
+            parse_spec(f"{spec.point}:{key}={value}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=valid_clauses(), data=st.data())
+    def test_out_of_range_values_always_raise(self, spec, data):
+        key, value = data.draw(
+            st.one_of(
+                st.tuples(st.sampled_from(["after", "count"]),
+                          st.integers(max_value=-1)),
+                st.tuples(st.just("prob"),
+                          st.one_of(
+                              st.floats(max_value=0.0, exclude_max=True,
+                                        allow_nan=False, allow_infinity=False),
+                              st.floats(min_value=1.0, exclude_min=True,
+                                        allow_nan=False, allow_infinity=False),
+                          )),
+                st.tuples(st.just("delay_ms"),
+                          st.floats(max_value=0.0, exclude_max=True,
+                                    allow_nan=False, allow_infinity=False)),
+            )
+        )
+        with pytest.raises(FaultSpecError):
+            parse_spec(f"{spec.point}:{key}={value}")
+
+    @settings(max_examples=30, deadline=None)
+    @given(filler=st.text(alphabet=" \t,", max_size=12))
+    def test_specs_with_no_clauses_always_raise(self, filler):
+        with pytest.raises(FaultSpecError):
+            parse_spec(filler)
+
+    @settings(max_examples=30, deadline=None)
+    @given(point=_identifiers(excluding=faults.POINTS))
+    def test_runtime_construction_is_never_a_silent_noop(self, point):
+        with pytest.raises(FaultSpecError):
+            FaultRuntime.from_spec(point)
+
+
+# ----------------------------------------------------------------------
 # Error taxonomy
 # ----------------------------------------------------------------------
 class TestErrorTaxonomy:
@@ -354,6 +499,25 @@ class TestChaosPool:
             ) as pool:
                 assert _endpoints(pool.run(chaos_jobs, K, _plan())) == expected
                 assert pool.crash_recoveries == 0
+
+    def test_env_schedule_ships_into_a_spawn_pool(
+        self, chaos_processor, chaos_jobs, monkeypatch
+    ):
+        """Regression: the runtime built lazily from ``RKNNT_FAULTS`` used
+        to create its counters in the default (fork) context, and pickling
+        a fork-context lock into a spawn pool's initializer raises
+        ``RuntimeError`` — the schedule must work under every start method."""
+        expected = _endpoints(_serial(chaos_processor, chaos_jobs))
+        monkeypatch.setenv(faults.FAULTS_ENV, "task_delay:delay_ms=1;count=0")
+        runtime = faults.current()
+        assert runtime is not None
+        with ShardedExecutor(
+            chaos_processor.engine_context, workers=WORKERS,
+            start_method="spawn",
+        ) as pool:
+            assert _endpoints(pool.run(chaos_jobs, K, _plan())) == expected
+            assert not pool.degraded
+        assert runtime.fire_count(faults.TASK_DELAY) >= 1
 
     def test_task_hang_is_cut_off_by_the_deadline(
         self, chaos_processor, chaos_jobs
