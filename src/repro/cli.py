@@ -1,9 +1,13 @@
 """Command-line interface for the RkNNT library.
 
-Seven sub-commands cover the typical workflows without writing any Python:
+Eight sub-commands cover the typical workflows without writing any Python:
 
 ``generate``
     Build a synthetic city (routes + transitions) and save it as CSV files.
+``pack``
+    Build both indexes from saved CSV datasets and write them to a single
+    persistent store file (:mod:`repro.engine.store`); ``query``, ``serve``
+    and ``server`` then boot from it in O(1) via ``--store``.
 ``query``
     Run one RkNNT query (or a ``--batch-file`` workload) against saved
     datasets and print the matching transitions.
@@ -30,11 +34,13 @@ Seven sub-commands cover the typical workflows without writing any Python:
 Example session::
 
     python -m repro.cli generate --preset mini --output-dir ./data
+    python -m repro.cli pack --data-dir ./data --output ./data/city.store
     python -m repro.cli query --data-dir ./data --k 5 \\
         --point 3.0 4.0 --point 5.0 4.5
-    python -m repro.cli serve --data-dir ./data --k 5 \\
+    python -m repro.cli serve --store ./data/city.store --k 5 \\
         --input queries.txt --workers 4
-    python -m repro.cli server --data-dir ./data --k 5 --port 8765 --workers 4
+    python -m repro.cli server --store ./data/city.store --k 5 \\
+        --port 8765 --workers 4
     python -m repro.cli watch --data-dir ./data --k 5 \\
         --point 3.0 4.0 --updates updates.log
     python -m repro.cli capacity --data-dir ./data --k 5 --top 10
@@ -94,10 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", required=True, help="directory for routes.csv / transitions.csv"
     )
 
+    pack = subparsers.add_parser(
+        "pack",
+        help="pack saved datasets into a persistent store file (mmap boot)",
+    )
+    pack.add_argument(
+        "--data-dir",
+        required=True,
+        help="directory containing routes.csv and transitions.csv",
+    )
+    pack.add_argument(
+        "--output",
+        required=True,
+        help="store file to write (atomic, byte-deterministic)",
+    )
+    pack.add_argument(
+        "--max-entries",
+        type=int,
+        default=16,
+        help="R-tree fanout of the packed indexes (default 16)",
+    )
+
     query = subparsers.add_parser(
         "query", help="run one RkNNT query (or a batch of them)"
     )
-    _add_data_arguments(query)
+    _add_data_arguments(query, store=True)
     query.add_argument(
         "--point",
         dest="points",
@@ -136,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serving loop: stream query batches through a persistent pool",
     )
-    _add_data_arguments(serve)
+    _add_data_arguments(serve, store=True)
     serve.add_argument(
         "--input",
         default="-",
@@ -200,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "server",
         help="network front-end: serve many clients over one pool (TCP)",
     )
-    _add_data_arguments(server)
+    _add_data_arguments(server, store=True)
     server.add_argument(
         "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
     )
@@ -335,12 +362,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_data_arguments(
+    parser: argparse.ArgumentParser, store: bool = False
+) -> None:
     parser.add_argument(
         "--data-dir",
-        required=True,
+        required=not store,
+        default=None,
         help="directory containing routes.csv and transitions.csv",
     )
+    if store:
+        parser.add_argument(
+            "--store",
+            default=None,
+            metavar="PATH",
+            help=(
+                "boot from a persistent store file written by `pack` "
+                "instead of CSV datasets (O(1) startup, mmap-shared "
+                "between workers); mutually exclusive with --data-dir"
+            ),
+        )
     parser.add_argument("--k", type=int, default=10, help="k of the RkNNT query")
 
 
@@ -354,6 +395,24 @@ def _load_datasets(data_dir: str):
         if not os.path.exists(path):
             raise SystemExit(f"error: missing dataset file {path}; run `generate` first")
     return load_routes_csv(routes_path), load_transitions_csv(transitions_path)
+
+
+def _boot_processor(args: argparse.Namespace) -> RkNNTProcessor:
+    """Build the processor from ``--data-dir`` CSVs or a ``--store`` file."""
+    store_path = getattr(args, "store", None)
+    if store_path is not None:
+        if args.data_dir is not None:
+            raise SystemExit("error: --data-dir and --store are mutually exclusive")
+        from repro.engine.resilience import StoreError
+
+        try:
+            return RkNNTProcessor.from_store(store_path)
+        except StoreError as error:
+            raise SystemExit(f"error: {error}")
+    if args.data_dir is None:
+        raise SystemExit("error: provide --data-dir or --store")
+    routes, transitions = _load_datasets(args.data_dir)
+    return RkNNTProcessor(routes, transitions)
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +466,30 @@ def _load_batch_file(path: str) -> List[List[tuple]]:
     return queries
 
 
+def command_pack(args: argparse.Namespace) -> int:
+    """Pack saved datasets into one persistent store file."""
+    from repro.engine import store as store_module
+    from repro.engine.resilience import StoreError
+
+    routes, transitions = _load_datasets(args.data_dir)
+    processor = RkNNTProcessor(routes, transitions, max_entries=args.max_entries)
+    try:
+        handle = store_module.save_indexes(
+            args.output, processor.route_index, processor.transition_index
+        )
+    except StoreError as error:
+        raise SystemExit(f"error: {error}")
+    print(
+        f"packed {len(routes)} routes and {len(transitions)} transitions -> "
+        f"{handle.path} ({handle.nbytes} bytes, {len(handle.columns)} columns)"
+    )
+    print(
+        "boot with `--store` on query/serve/server: attaches by mmap in O(1), "
+        "workers reseed from the file instead of a pickle"
+    )
+    return 0
+
+
 def command_query(args: argparse.Namespace) -> int:
     if args.batch_file is None and not args.points:
         raise SystemExit("error: provide --point (repeatable) or --batch-file")
@@ -416,8 +499,8 @@ def command_query(args: argparse.Namespace) -> int:
         raise SystemExit("error: --workers must be non-negative")
     if args.workers and args.batch_file is None:
         raise SystemExit("error: --workers requires --batch-file")
-    routes, transitions = _load_datasets(args.data_dir)
-    processor = RkNNTProcessor(routes, transitions)
+    processor = _boot_processor(args)
+    transitions = processor.transitions
     if args.batch_file is not None:
         return _run_query_batch(args, processor, transitions)
     query_points = [tuple(point) for point in args.points]
@@ -508,8 +591,8 @@ def command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("error: --workers must be non-negative")
     if args.batch_size <= 0:
         raise SystemExit("error: --batch-size must be positive")
-    routes, transitions = _load_datasets(args.data_dir)
-    processor = RkNNTProcessor(routes, transitions)
+    processor = _boot_processor(args)
+    transitions = processor.transitions
 
     if args.input == "-":
         stream = sys.stdin
@@ -816,8 +899,7 @@ def command_server(args: argparse.Namespace) -> int:
 
     if args.workers < 0:
         raise SystemExit("error: --workers must be non-negative")
-    routes, transitions = _load_datasets(args.data_dir)
-    processor = RkNNTProcessor(routes, transitions)
+    processor = _boot_processor(args)
     server = RkNNTServer(
         processor,
         host=args.host,
@@ -1068,6 +1150,7 @@ def command_plan(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "generate": command_generate,
+    "pack": command_pack,
     "query": command_query,
     "serve": command_serve,
     "server": command_server,

@@ -137,6 +137,52 @@ class RkNNTProcessor:
         #: (growable on demand) rather than opened by :meth:`serving_pool`.
         self._serving_pool_adopted = False
 
+    @classmethod
+    def from_store(cls, source) -> "RkNNTProcessor":
+        """Boot a processor straight from a persistent store file, in O(1).
+
+        ``source`` is a path to a file written by :func:`repro.engine.store
+        .save_indexes` (the CLI ``pack`` command), or an already-minted
+        :class:`~repro.engine.store.StoreHandle`.  Both indexes install
+        their columns lazily over read-only ``mmap`` views, so this returns
+        in constant time regardless of dataset size and the OS shares the
+        column pages between every process attached to the same file.  The
+        resulting processor answers identically to one built from the
+        datasets; its serving pools reseed by shipping the store handle
+        instead of a context pickle.  Raises
+        :class:`~repro.engine.resilience.StoreError` when the file is
+        missing, corrupt, of an unsupported version, or numpy is
+        unavailable (the store needs the typed-array backend).
+        """
+        from repro.engine import store as store_module
+
+        if isinstance(source, store_module.StoreHandle):
+            handle = source
+        else:
+            handle = store_module.open_handle(source)
+        context = store_module.attach_context(handle)
+        processor = cls.__new__(cls)
+        processor.route_index = context.route_index
+        processor.transition_index = context.transition_index
+        processor.engine_context = context
+        processor._excluded = set(context.route_index.excluded_route_ids)
+        processor._continuous = None
+        processor._serving_pool = None
+        processor._serving_pool_adopted = False
+        return processor
+
+    def __getattr__(self, name):
+        # Only reached when an attribute is missing: a store-booted
+        # processor (from_store) resolves its dataset attributes from the
+        # lazy indexes on first touch, keeping the boot itself O(1).
+        if name == "routes" and "route_index" in self.__dict__:
+            self.routes = self.route_index.routes
+            return self.routes
+        if name == "transitions" and "transition_index" in self.__dict__:
+            self.transitions = self.transition_index.transitions
+            return self.transitions
+        raise AttributeError(name)
+
     @property
     def continuous(self) -> ContinuousRkNNT:
         """The lazily-created continuous-query manager of this processor."""

@@ -288,6 +288,13 @@ def publish_arena(
     enabled = True if force else arena_enabled()
     if enabled is False or _shared_memory is None or not kernels.numpy_available():
         return None
+    store_handle = getattr(context, "store_handle", None)
+    if store_handle is not None and store_handle.matches(context):
+        # A persistent store file already backs this dataset: its pages are
+        # file-backed shared memory through the OS page cache, so a second
+        # (anonymous) shared segment would only duplicate them.  Workers
+        # attach the store instead (see ``repro.engine.parallel``).
+        return None
     if min_bytes is None:
         min_bytes = arena_min_bytes()
 

@@ -195,6 +195,17 @@ class ExecutionContext:
         #: caches may hold views into the segment — is alive.  Set by
         #: :func:`repro.engine.arena.attach_arena`, never pickled.
         self._arena_attachment: Optional[object] = None
+        #: Handle of the persistent store file backing this context's
+        #: indexes, or ``None``.  Set by :func:`repro.engine.store
+        #: .attach_context` (worker boot) and by store-booted processors;
+        #: while the indexes are still at the handle's packed versions, a
+        #: serving reseed ships this handle instead of a columnar pickle
+        #: and the arena publisher short-circuits (the store file is
+        #: already file-backed shared memory through the page cache).
+        self.store_handle = None
+        #: The attached :class:`repro.engine.store.Store` (keeps the file
+        #: mapping reachable for introspection).  Never pickled.
+        self._store_attachment: Optional[object] = None
         self._subqueries: Dict[SubqueryKey, ConfirmedMap] = {}
         self._subquery_versions: Tuple[int, int] = (-1, -1)
         #: Cache statistics (useful for benchmark reporting).
@@ -407,6 +418,7 @@ class ExecutionContext:
         state["_route_matrix"] = None
         state["_route_matrix_version"] = -1
         state["_arena_attachment"] = None
+        state["_store_attachment"] = None
         state["_subqueries"] = {}
         state["_subquery_versions"] = (-1, -1)
         state["subquery_hits"] = 0

@@ -14,7 +14,7 @@ Spec grammar (``RKNNT_FAULTS`` or :func:`injected`)::
     clause   := point [":" option (";" option)*]
     option   := key "=" value
     point    := worker_crash | task_delay | task_hang | arena_attach
-              | sync_corrupt | reseed_fail
+              | store_attach | sync_corrupt | reseed_fail
     key      := after     (skip the first N occurrences;          default 0)
               | count     (fire at most N times, 0 = unlimited;   default 1)
               | prob      (per-occurrence fire probability;       default 1.0)
@@ -43,6 +43,7 @@ The injection points and what they simulate:
 ``task_delay``     a slow worker (sleeps ``delay_ms`` before the task)
 ``task_hang``      a hung worker (sleeps ``delay_ms``, default 60 s)
 ``arena_attach``   shared-memory attach failure (segment vanished)
+``store_attach``   store-file attach failure (file vanished / corrupt)
 ``sync_corrupt``   delta-sync log truncation (parent drops newest delta)
 ``reseed_fail``    pool reseed failure (arena/pickle/spawn breaks)
 =================  =====================================================
@@ -80,12 +81,21 @@ WORKER_CRASH = "worker_crash"
 TASK_DELAY = "task_delay"
 TASK_HANG = "task_hang"
 ARENA_ATTACH = "arena_attach"
+STORE_ATTACH = "store_attach"
 SYNC_CORRUPT = "sync_corrupt"
 RESEED_FAIL = "reseed_fail"
 
 #: Every named injection point threaded through the serving stack.
 POINTS = frozenset(
-    {WORKER_CRASH, TASK_DELAY, TASK_HANG, ARENA_ATTACH, SYNC_CORRUPT, RESEED_FAIL}
+    {
+        WORKER_CRASH,
+        TASK_DELAY,
+        TASK_HANG,
+        ARENA_ATTACH,
+        STORE_ATTACH,
+        SYNC_CORRUPT,
+        RESEED_FAIL,
+    }
 )
 
 _OPTION_KEYS = frozenset({"after", "count", "prob", "seed", "delay_ms"})
@@ -98,7 +108,7 @@ class FaultSpecError(ValueError):
 
 class FaultInjected(RkNNTError):
     """The error raised by raise-kind injection points (``arena_attach``,
-    ``reseed_fail``).  A subclass of :class:`~repro.engine.resilience
+    ``store_attach``, ``reseed_fail``).  A subclass of :class:`~repro.engine.resilience
     .RkNNTError`, so it flows through the same recovery paths a real
     failure would."""
 
@@ -272,7 +282,7 @@ class FaultRuntime:
             if delay_ms > 0:
                 time.sleep(delay_ms / 1000.0)
             return True
-        if point in (ARENA_ATTACH, RESEED_FAIL):
+        if point in (ARENA_ATTACH, STORE_ATTACH, RESEED_FAIL):
             raise FaultInjected(
                 f"injected fault at {point}",
                 point=point,

@@ -106,6 +106,7 @@ from repro.engine.resilience import (
     PoolSaturated,
     ReseedError,
     RkNNTError,
+    StoreError,
     SyncLogError,
     WorkerCrashError,
 )
@@ -137,20 +138,50 @@ _WORKER_CONTEXT: Optional[ExecutionContext] = None
 #: The worker's arena attachment (kept alive so the shared views stay
 #: mapped for the life of the worker); ``None`` on the pickle-only path.
 _WORKER_ARENA = None
+#: The store attach failure (a :class:`~repro.engine.resilience.StoreError`)
+#: recorded when a store-handle seed could not be attached.  The first task
+#: re-raises it so the parent can reseed with a full pickle — initializers
+#: themselves must never raise (``ProcessPoolExecutor`` would just mark the
+#: pool broken without the typed cause).
+_WORKER_STORE_ERROR: Optional[StoreError] = None
 
 
-def _initialize_worker(context_payload: bytes, arena_handle, fault_runtime=None) -> None:
-    """Pool initializer: unpickle the shared context exactly once per worker
-    and attach the dataset arena when one was published.
+def _initialize_worker(
+    context_payload: Optional[bytes],
+    arena_handle,
+    fault_runtime=None,
+    store_handle=None,
+) -> None:
+    """Pool initializer: build the worker's private context exactly once.
 
-    The parent's installed fault schedule rides along so chaos counters
-    are pool-global (the Nth task means the Nth across all workers)."""
-    global _WORKER_CONTEXT, _WORKER_ARENA
+    Store-backed seeding (``store_handle`` set, ``context_payload`` None)
+    attaches the persistent store file in O(1); the pickle path unpickles
+    the shipped context and attaches the dataset arena when one was
+    published.  The parent's installed fault schedule rides along so chaos
+    counters are pool-global (the Nth task means the Nth across all
+    workers)."""
+    global _WORKER_CONTEXT, _WORKER_ARENA, _WORKER_STORE_ERROR
     if fault_runtime is not None:
         faults.install(fault_runtime)
-    _WORKER_CONTEXT = pickle.loads(context_payload)
+    _WORKER_CONTEXT = None
     _WORKER_ARENA = None
-    if arena_handle is not None:
+    _WORKER_STORE_ERROR = None
+    if store_handle is not None:
+        from repro.engine import store as store_module
+
+        try:
+            _WORKER_CONTEXT = store_module.attach_context(store_handle)
+        except StoreError as exc:
+            # Recorded, not raised: the first task surfaces it as a typed
+            # StoreError and the parent reseeds with the full pickle.
+            _WORKER_STORE_ERROR = exc
+        except Exception as exc:  # pragma: no cover - defensive
+            _WORKER_STORE_ERROR = StoreError(
+                "store attach failed", path=store_handle.path, cause=repr(exc)
+            )
+    if _WORKER_CONTEXT is None and context_payload is not None:
+        _WORKER_CONTEXT = pickle.loads(context_payload)
+    if arena_handle is not None and _WORKER_CONTEXT is not None:
         try:
             _WORKER_ARENA = arena_module.attach_arena(arena_handle, _WORKER_CONTEXT)
         except Exception:
@@ -162,7 +193,10 @@ def _initialize_worker(context_payload: bytes, arena_handle, fault_runtime=None)
 
 def _worker_context() -> ExecutionContext:
     context = _WORKER_CONTEXT
-    if context is None:  # pragma: no cover - initializer contract violation
+    if context is None:
+        if _WORKER_STORE_ERROR is not None:
+            raise _WORKER_STORE_ERROR
+        # pragma: no cover - initializer contract violation
         raise RuntimeError("pool worker used before initialization")
     return context
 
@@ -464,6 +498,19 @@ class ShardedExecutor:
         self.reseed_failures = 0
         #: Batches answered in process after degradation.
         self.degraded_runs = 0
+        #: Pools seeded with a :class:`~repro.engine.store.StoreHandle`
+        #: instead of a context pickle (O(1) worker boot).
+        self.store_seeds = 0
+        #: Store seeds that failed in a worker and were recovered by
+        #: reseeding with the full pickle (answers identical).
+        self.store_fallbacks = 0
+        #: Bytes of the last pool seed's per-worker payload (the pickled
+        #: store handle, or the pickled context); benchmarks and the
+        #: payload-size tests read it.
+        self.last_seed_nbytes = 0
+        #: Sticky until :meth:`close`: once a store seed failed, every
+        #: reseed of this executor ships the full pickle.
+        self._store_seed_failed = False
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -498,6 +545,21 @@ class ShardedExecutor:
             return self.use_arena
         return arena_module.arena_enabled() is not False
 
+    def _store_seed_handle(self):
+        """The store handle a reseed may ship instead of the context pickle.
+
+        ``None`` unless the context is store-backed, the indexes are still
+        at the handle's packed versions (dynamic updates since the pack
+        invalidate the file's view of the world), and no earlier store
+        seed failed on this executor.
+        """
+        if self._store_seed_failed:
+            return None
+        handle = getattr(self.context, "store_handle", None)
+        if handle is None or not handle.matches(self.context):
+            return None
+        return handle
+
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         route_version = self.context.route_index.version
         if self._pool is not None and (
@@ -524,13 +586,26 @@ class ShardedExecutor:
                         min_bytes=0 if forced else None,
                         force=forced,
                     )
-                payload = pickle.dumps(self.context, protocol=pickle.HIGHEST_PROTOCOL)
+                store_handle = self._store_seed_handle()
+                if store_handle is not None:
+                    # O(1) seed: workers attach the persistent store file
+                    # instead of unpickling the whole context.
+                    payload = None
+                    self.last_seed_nbytes = len(
+                        pickle.dumps(store_handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                    self.store_seeds += 1
+                else:
+                    payload = pickle.dumps(
+                        self.context, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    self.last_seed_nbytes = len(payload)
                 handle = self._arena.handle if self._arena is not None else None
                 self._pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=multiprocessing.get_context(self.start_method),
                     initializer=_initialize_worker,
-                    initargs=(payload, handle, faults.current()),
+                    initargs=(payload, handle, faults.current(), store_handle),
                 )
             except Exception as exc:
                 # Roll the half-seeded state back so the next attempt (or
@@ -590,6 +665,7 @@ class ShardedExecutor:
         self._reset_pool_state()
         self._degraded = False
         self.last_failure = None
+        self._store_seed_failed = False
 
     def _reset_pool_state(self) -> None:
         if self._arena is not None:
@@ -721,6 +797,19 @@ class ShardedExecutor:
                     tasks=len(payloads),
                 )
                 failure.__cause__ = exc
+            except StoreError as exc:
+                # A worker could not attach the store file this pool was
+                # seeded with (file vanished/corrupted since, or an injected
+                # ``store_attach`` fault).  Recover exactly like a sync-log
+                # corruption — reseed and replay — but ship the full pickle
+                # from now on: the file is evidently not trustworthy.
+                self.close()
+                self._store_seed_failed = True
+                self.store_fallbacks += 1
+                _LOGGER.warning(
+                    "store seed failed, reseeding with the pickle path: %s", exc
+                )
+                failure = exc
             except SyncLogError as exc:
                 self.close()
                 self.sync_recoveries += 1

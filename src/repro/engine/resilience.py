@@ -177,6 +177,16 @@ class ArenaAttachError(RkNNTError):
     wire_code = "arena_attach_failed"
 
 
+class StoreError(RkNNTError):
+    """A persistent store file could not be written, opened or validated
+    (missing file, truncated header, checksum mismatch, unsupported
+    format version, numpy unavailable).  Recoverable exactly like
+    :class:`ArenaAttachError`: the caller degrades to the pickle path
+    and answers stay identical."""
+
+    wire_code = "store_attach_failed"
+
+
 class DeadlineExceeded(RkNNTError):
     """The query/batch ran past its :class:`Deadline`.  Never retried —
     retrying cannot make a missed budget reappear."""

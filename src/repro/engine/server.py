@@ -738,6 +738,15 @@ class RkNNTServer:
                 "pools_spawned": (
                     self._pool.pools_spawned if self._pool is not None else 0
                 ),
+                "store_seeds": (
+                    self._pool.store_seeds if self._pool is not None else 0
+                ),
+                "store_fallbacks": (
+                    self._pool.store_fallbacks if self._pool is not None else 0
+                ),
+                "last_seed_nbytes": (
+                    self._pool.last_seed_nbytes if self._pool is not None else 0
+                ),
             }
         )
         return payload

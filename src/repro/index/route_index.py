@@ -133,6 +133,11 @@ class RouteIndex:
         """
         from repro.engine.columnar import encode_route_index
 
+        lazy = self.__dict__.get("_lazy_columns")
+        if lazy is not None:
+            # Store-backed and still unmaterialised: nothing can have
+            # mutated, so the store's own columns are current by definition.
+            return lazy
         key = (self.version, self.routes.version)
         cached = self._columns_cache
         if cached is not None and cached[0] == key:
@@ -163,6 +168,44 @@ class RouteIndex:
         index.version = columns.version
         index._columns_cache = ((columns.version, index.routes.version), columns)
         return index
+
+    @classmethod
+    def from_store(cls, columns) -> "RouteIndex":
+        """Build an index over store-backed columns, installing them lazily.
+
+        O(1) in dataset size: only scalars are read here.  ``routes``,
+        ``plist`` and ``tree`` stay un-decoded until first touched (see
+        :meth:`__getattr__`), so a worker booting from a
+        :class:`~repro.engine.store.StoreHandle` attaches in constant time
+        and the OS pages column bytes in on demand.
+        """
+        index = cls.__new__(cls)
+        index.max_entries = columns.max_entries
+        index._excluded = set(columns.excluded)
+        index.version = columns.version
+        index._columns_cache = ((columns.version, columns.routes.version), columns)
+        index._lazy_columns = columns
+        return index
+
+    def __getattr__(self, name):
+        # Only reached when an attribute is missing: a store-backed index
+        # (from_store) defers decoding routes/plist/tree until first use.
+        if name in ("routes", "plist", "tree"):
+            if self.__dict__.get("_lazy_columns") is not None:
+                self._materialise_columns()
+                return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _materialise_columns(self) -> None:
+        from repro.engine.columnar import decode_routes, decode_tree, install_nlist
+
+        columns = self.__dict__["_lazy_columns"]
+        self.routes = decode_routes(columns.routes)
+        self.plist = PointList.from_columns(columns.plist)
+        tree = decode_tree(columns.tree)
+        install_nlist(tree, columns.nlist)
+        self.tree = tree
+        self._lazy_columns = None
 
     def __getstate__(self):
         """Pickle as packed columns (default) or the legacy object graph.

@@ -198,6 +198,11 @@ class TransitionIndex:
         """
         from repro.engine.columnar import encode_transition_index
 
+        lazy = self.__dict__.get("_lazy_columns")
+        if lazy is not None:
+            # Store-backed and still unmaterialised: nothing can have
+            # mutated, so the store's own columns are current by definition.
+            return lazy
         key = (self.version, self.transitions.version)
         cached = self._columns_cache
         if cached is not None and cached[0] == key:
@@ -219,6 +224,43 @@ class TransitionIndex:
         index._listeners = []
         index._columns_cache = ((columns.version, index.transitions.version), columns)
         return index
+
+    @classmethod
+    def from_store(cls, columns) -> "TransitionIndex":
+        """Build an index over store-backed columns, installing them lazily.
+
+        O(1) in dataset size — ``transitions`` and ``tree`` stay un-decoded
+        until first touched (see :meth:`__getattr__`); the mirror of
+        :meth:`RouteIndex.from_store <repro.index.route_index.RouteIndex
+        .from_store>`.
+        """
+        index = cls.__new__(cls)
+        index.max_entries = columns.max_entries
+        index.version = columns.version
+        index._columns_cache = (
+            (columns.version, columns.transitions.version),
+            columns,
+        )
+        index._listeners = []
+        index._lazy_columns = columns
+        return index
+
+    def __getattr__(self, name):
+        # Only reached when an attribute is missing: a store-backed index
+        # (from_store) defers decoding transitions/tree until first use.
+        if name in ("transitions", "tree"):
+            if self.__dict__.get("_lazy_columns") is not None:
+                self._materialise_columns()
+                return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _materialise_columns(self) -> None:
+        from repro.engine.columnar import decode_transitions, decode_tree
+
+        columns = self.__dict__["_lazy_columns"]
+        self.transitions = decode_transitions(columns.transitions)
+        self.tree = decode_tree(columns.tree)
+        self._lazy_columns = None
 
     def __getstate__(self) -> dict:
         """Pickle as packed columns (default) or the legacy object graph.

@@ -19,6 +19,10 @@ Checks, per markdown file:
 4. **CLI surface** — every sub-command of ``repro.cli`` must be mentioned
    in the README (so new commands cannot ship undocumented), and the
    README must link both docs pages.
+5. **Environment knobs** — every ``RKNNT_*`` variable referenced anywhere
+   under ``src/`` must appear (backtick-quoted) in the ``docs/api.md``
+   environment table, so a new knob cannot ship undocumented and a renamed
+   one cannot leave its stale row behind unnoticed.
 
 Exit status 0 when everything passes; 1 otherwise, with one line per
 failure.  The tier-1 suite runs this via ``tests/test_docs.py`` and CI has
@@ -39,6 +43,7 @@ SRC_DIR = os.path.join(REPO_ROOT, "src")
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_KNOB_RE = re.compile(r"\bRKNNT_[A-Z0-9_]+\b")
 
 
 def doc_files() -> List[str]:
@@ -141,6 +146,31 @@ def check_cli_surface(failures: List[str]) -> None:
             failures.append(f"README.md: missing link to {required}")
 
 
+def check_env_knobs(failures: List[str]) -> int:
+    """Every ``RKNNT_*`` knob referenced in ``src/`` must be documented.
+
+    The environment table of ``docs/api.md`` is the single inventory of
+    runtime knobs; a knob read by the code but absent there is invisible
+    to operators.  Matching is by backtick-quoted name, the way every
+    table row renders it.
+    """
+    api_path = os.path.join(REPO_ROOT, "docs", "api.md")
+    with open(api_path, "r", encoding="utf-8") as handle:
+        api_text = handle.read()
+    knobs = set()
+    pattern = os.path.join(SRC_DIR, "**", "*.py")
+    for path in glob.glob(pattern, recursive=True):
+        with open(path, "r", encoding="utf-8") as handle:
+            knobs.update(ENV_KNOB_RE.findall(handle.read()))
+    for knob in sorted(knobs):
+        if f"`{knob}`" not in api_text:
+            failures.append(
+                f"docs/api.md: environment knob `{knob}` (referenced in "
+                f"src/) is missing from the environment table"
+            )
+    return len(knobs)
+
+
 def main() -> int:
     sys.path.insert(0, SRC_DIR)
     failures: List[str] = []
@@ -152,6 +182,7 @@ def main() -> int:
         fences += check_python_fences(path, text, failures)
         links += check_links(path, text, failures)
     check_cli_surface(failures)
+    knobs = check_env_knobs(failures)
 
     name = os.path.basename(sys.argv[0]) or "check_docs.py"
     if failures:
@@ -160,13 +191,13 @@ def main() -> int:
         print(
             f"{name}: FAILED ({len(failures)} problem(s); "
             f"{examples} doctest examples, {fences} compiled fences, "
-            f"{links} links checked)",
+            f"{links} links, {knobs} env knobs checked)",
             file=sys.stderr,
         )
         return 1
     print(
         f"{name}: OK ({len(doc_files())} files, {examples} doctest examples, "
-        f"{fences} compiled fences, {links} links)"
+        f"{fences} compiled fences, {links} links, {knobs} env knobs)"
     )
     return 0
 
