@@ -123,11 +123,20 @@ def test_batch_throughput(benchmark, la_bundle, bench_scale, write_result):
         by_method[method] = timing
         rows.append(timing.as_row())
 
-    # Filter traversal: block expansion vs node-at-a-time, per method.
+    # Filter traversal: block expansion vs node-at-a-time, per method.  The
+    # interleaved legs run on a spatially *clustered* workload (the shape
+    # the locality engine targets) so the traversal comparison covers the
+    # skewed node-access pattern hot-spot traffic produces, not just the
+    # uniform one.
+    traversal_queries = workload.clustered_query_routes(
+        query_count,
+        DEFAULT_QUERY_LENGTH,
+        DEFAULT_INTERVAL * bench_scale.distance_scale,
+    )
     traversal_rows = []
     for method in METHODS:
         best, traversal_results = _time_traversals(
-            processor, queries, BATCH_K, method
+            processor, traversal_queries, BATCH_K, method
         )
         node_seconds = best[TRAVERSAL_NODE]
         block_seconds = best[TRAVERSAL_BLOCK]

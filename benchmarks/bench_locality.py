@@ -1,0 +1,190 @@
+"""Query-locality engine: shared filter reuse on a clustered workload.
+
+Not a figure of the paper: this benchmark quantifies the PR-6 locality
+engine (``repro.engine.locality``).  A spatially clustered workload — the
+shape real batch traffic has when queries concentrate around hot spots — is
+answered twice per method:
+
+* **unshared** (``RKNNT_LOCALITY=off``): every query runs the full staged
+  pipeline independently (the plain ``query_batch`` path), and
+* **shared** (``RKNNT_LOCALITY=on``): one pilot per spatial cluster runs the
+  full pipeline; each neighbour reuses the pilot's retained filter set via
+  the δ-margin translation bound and exactly re-tests only the borderline
+  candidates.
+
+Timings are interleaved (unshared, shared, unshared, ...) best-of-3 so slow
+drift on shared runners hits both sides equally, and answers are checked
+element-wise identical before any timing is trusted — sharing changes the
+work done, never the answer.
+
+Acceptance bar (asserted when numpy is available): the shared path is
+≥ 1.5× the unshared batch on the Voronoi method.  The other methods are
+reported for context; filter-refine has the cheapest per-query filter stage
+and therefore the least to reuse, so no bar is asserted for it.
+
+Results are written as a text table, as JSON rows under
+``benchmarks/results/``, and appended to the repo-root ``BENCH_batch.json``
+trajectory artifact so per-PR CI runs accumulate comparable numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.bench.parameters import DEFAULT_INTERVAL, DEFAULT_QUERY_LENGTH
+from repro.bench.reporting import append_trajectory, format_table, git_commit
+from repro.core.rknnt import METHODS, VORONOI
+from repro.engine.parallel import available_cpu_count
+from repro.engine.plan import LOCALITY_ENV
+from repro.geometry.kernels import numpy_available
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Repo-root trajectory artifact shared with the other batch benchmarks.
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_batch.json",
+)
+
+#: k kept modest so pruning stays effective on the scaled-down cities.
+BATCH_K = 5
+
+#: Workload shape: enough members per cluster that the pilot's traversal
+#: amortises, tight enough spread that the δ-margin thresholds bite.
+CLUSTERS = 4
+SPREAD = 0.05
+HEADING_JITTER_DEGREES = 10.0
+
+#: Minimum shared-over-unshared speedup asserted on the Voronoi method.
+LOCALITY_SPEEDUP_BAR = 1.5
+
+
+def _time_locality(processor, queries, k, method, repeats=3):
+    """Best-of-N batch wall-clock with the locality engine off vs. on.
+
+    Interleaved repeats (off, on, off, on, ...) so CPU frequency scaling and
+    background noise bias neither side; caches are cleared before every run
+    so each measurement is a cold batch.
+    """
+    modes = ("off", "on")
+    best = {mode: math.inf for mode in modes}
+    results = {mode: None for mode in modes}
+    counters = {}
+    previous = os.environ.get(LOCALITY_ENV)
+    try:
+        for _ in range(repeats):
+            for mode in modes:
+                os.environ[LOCALITY_ENV] = mode
+                processor.engine_context.clear_caches()
+                started = time.perf_counter()
+                results[mode] = processor.query_batch(queries, k, method=method)
+                best[mode] = min(best[mode], time.perf_counter() - started)
+                if mode == "on":
+                    context = processor.engine_context
+                    counters = {
+                        "clusters": context.locality_clusters,
+                        "seeded": context.locality_seeded,
+                        "retested": context.locality_retested,
+                    }
+    finally:
+        if previous is None:
+            os.environ.pop(LOCALITY_ENV, None)
+        else:
+            os.environ[LOCALITY_ENV] = previous
+    return best, results, counters
+
+
+def test_locality_speedup(benchmark, la_bundle, bench_scale, write_result):
+    _, _, processor, workload = la_bundle
+    query_count = max(60, 12 * bench_scale.queries_per_point)
+    queries = workload.clustered_query_routes(
+        query_count,
+        DEFAULT_QUERY_LENGTH,
+        DEFAULT_INTERVAL * bench_scale.distance_scale,
+        clusters=CLUSTERS,
+        spread=SPREAD,
+        heading_jitter_degrees=HEADING_JITTER_DEGREES,
+    )
+
+    rows = []
+    by_method = {}
+    for method in METHODS:
+        best, results, counters = _time_locality(
+            processor, queries, BATCH_K, method
+        )
+        for index, (unshared, shared) in enumerate(
+            zip(results["off"], results["on"])
+        ):
+            assert (
+                unshared.confirmed_endpoints == shared.confirmed_endpoints
+            ), f"locality changes answers on {method} at index {index}"
+        speedup = (
+            best["off"] / best["on"] if best["on"] else float("inf")
+        )
+        row = {
+            "method": method,
+            "unshared_s": best["off"],
+            "shared_s": best["on"],
+            "speedup": speedup,
+            **counters,
+        }
+        by_method[method] = row
+        rows.append(row)
+
+    table = format_table(
+        rows,
+        title=(
+            f"locality engine: shared vs unshared batch "
+            f"({query_count} clustered queries, {CLUSTERS} clusters, "
+            f"spread={SPREAD}, k={BATCH_K})"
+        ),
+    )
+    write_result("locality", table)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "benchmark": "locality",
+        "queries": query_count,
+        "clusters": CLUSTERS,
+        "spread": SPREAD,
+        "k": BATCH_K,
+        "cpus": available_cpu_count(),
+        "numpy": numpy_available(),
+        "scale": bench_scale.name,
+        "rows": rows,
+    }
+    json_path = os.path.join(RESULTS_DIR, "locality.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    append_trajectory(
+        TRAJECTORY_PATH,
+        {
+            "commit": git_commit(os.path.dirname(os.path.abspath(__file__))),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            **payload,
+        },
+    )
+
+    if numpy_available():
+        # Acceptance bar: filter-set reuse must pay for itself on the
+        # flagship method.  Without numpy the scalar kernels dominate both
+        # sides and the equivalence checks above are the interesting part.
+        assert by_method[VORONOI]["speedup"] >= LOCALITY_SPEEDUP_BAR, (
+            f"expected >= {LOCALITY_SPEEDUP_BAR}x locality speedup on "
+            f"{VORONOI}, got {by_method[VORONOI]['speedup']:.2f}x"
+        )
+        # Sharing must actually happen for the numbers to mean anything.
+        assert by_method[VORONOI]["seeded"] > 0
+
+    # pytest-benchmark datum: the shared batch through the engine.
+    previous = os.environ.get(LOCALITY_ENV)
+    os.environ[LOCALITY_ENV] = "on"
+    try:
+        benchmark(processor.query_batch, queries, BATCH_K, method=VORONOI)
+    finally:
+        if previous is None:
+            os.environ.pop(LOCALITY_ENV, None)
+        else:
+            os.environ[LOCALITY_ENV] = previous

@@ -69,7 +69,7 @@ from repro.planning import (
 )
 from repro.data import CityGenerator, TransitionGenerator, SyntheticCity
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ContinuousRkNNT",

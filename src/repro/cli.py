@@ -534,6 +534,19 @@ def command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reuse_stats_line(context) -> str:
+    """One-line summary of the context's cross-query reuse counters."""
+    return (
+        f"subquery cache: {context.subquery_hits} hits, "
+        f"{context.subquery_misses} misses, "
+        f"{context.subquery_patches} patches; "
+        f"locality: {context.locality_clusters} clusters, "
+        f"{context.locality_seeded} seeded, "
+        f"{context.locality_retested} re-tested; "
+        f"shard fallbacks: {context.shard_fallbacks}"
+    )
+
+
 def _run_query_batch(args, processor, transitions) -> int:
     """Answer every query of ``--batch-file`` through the batched engine."""
     import time
@@ -571,6 +584,7 @@ def _run_query_batch(args, processor, transitions) -> int:
         f"total {elapsed * 1000:.1f} ms, {throughput:.1f} queries/s, "
         f"{sum(len(result) for result in results)} transitions matched"
     )
+    print(_reuse_stats_line(processor.engine_context))
     return 0
 
 
@@ -1145,6 +1159,7 @@ def command_plan(args: argparse.Namespace) -> int:
         f"  search:      {planned.stats.seconds * 1000:.1f} ms, "
         f"{planned.stats.expansions} expansions"
     )
+    print(f"  {_reuse_stats_line(processor.engine_context)}")
     return 0
 
 

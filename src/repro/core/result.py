@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Set
 
-from repro.core.semantics import EXISTS, FORALL, Semantics
+from repro.core.semantics import FORALL, Semantics
 from repro.core.stats import QueryStatistics
 
 

@@ -67,6 +67,21 @@ from repro.model.transition import Transition
 
 QueryLike = Union[Route, Sequence[Sequence[float]]]
 
+#: The method names are re-exported here because this module is the public
+#: entry point: callers that construct a processor also pick a method.
+__all__ = [
+    "DIVIDE_CONQUER",
+    "FILTER_REFINE",
+    "METHODS",
+    "VORONOI",
+    "QueryLike",
+    "RkNNTProcessor",
+    "SERVING_POOL_ENV",
+    "as_query_points",
+    "rknnt_query",
+    "serving_pool_env_enabled",
+]
+
 #: ``RKNNT_SERVING_POOL=1`` makes ``query_batch(workers=N)`` adopt a
 #: processor-owned *persistent* worker pool on first use instead of
 #: spawning (and tearing down) a per-call pool — the environment-variable
@@ -481,26 +496,34 @@ class RkNNTProcessor:
                 pool = self._adopted_serving_pool(workers)
             if pool is not None:
                 return pool.run(jobs, k, plan, semantics, deadline=deadline)
-            from repro.engine.parallel import ShardedExecutor
-
-            with ShardedExecutor(self.engine_context, workers=workers) as sharded:
-                return sharded.run(jobs, k, plan, semantics, deadline=deadline)
-        results = []
-        for query_points, excluded in jobs:
-            if deadline is not None:
-                deadline.check("query")
-            results.append(
-                execute(
-                    self.engine_context,
-                    query_points,
-                    k,
-                    plan,
-                    semantics,
-                    exclude_route_ids=excluded,
-                    deadline=deadline,
-                )
+            from repro.engine.parallel import (
+                ShardedExecutor,
+                available_cpu_count,
+                min_shard_batch,
             )
-        return results
+
+            floor = min_shard_batch()
+            if floor == 0 or (
+                available_cpu_count() >= 2 and len(jobs) >= floor
+            ):
+                with ShardedExecutor(
+                    self.engine_context, workers=workers
+                ) as sharded:
+                    return sharded.run(jobs, k, plan, semantics, deadline=deadline)
+            # A per-call pool costs more than it buys without spare CPUs
+            # or a batch worth slicing (``RKNNT_MIN_SHARD_BATCH``) —
+            # answer serially and record the fallback.  Persistent pools
+            # (handled above) are exempt: their setup cost is sunk.
+            self.engine_context.shard_fallbacks += 1
+        # The locality engine owns the serial batch loop: with
+        # RKNNT_LOCALITY off (the default) it degenerates to exactly one
+        # ``execute`` call per job; with it on, spatially clustered jobs
+        # share their pilot's filter set (answers identical either way).
+        from repro.engine.locality import execute_batch
+
+        return execute_batch(
+            self.engine_context, jobs, k, plan, semantics, deadline=deadline
+        )
 
     # ------------------------------------------------------------------
     # Continuous queries (delta-maintained standing results)

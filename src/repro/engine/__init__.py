@@ -38,6 +38,10 @@ This package factors that pipeline out of the per-method modules:
 * :mod:`repro.engine.faults` — deterministic fault injection: named
   injection points threaded through the serving stack, driven by the
   ``RKNNT_FAULTS`` spec so every chaos run reproduces.
+* :mod:`repro.engine.locality` — the query-locality engine
+  (``RKNNT_LOCALITY``): spatially clustered batch queries share one
+  pilot's filter set per cluster, with a δ-margin TR-tree prune and exact
+  per-member re-testing, so answers stay identical to the unshared path.
 
 The geometry kernels themselves live in :mod:`repro.geometry.kernels`; the
 engine is backend-agnostic and produces element-wise identical answers on
@@ -54,6 +58,7 @@ from repro.engine.continuous import (
 )
 from repro.engine.executor import QueryExecutor, execute
 from repro.engine.filterset import FilterSet
+from repro.engine.locality import cluster_jobs, execute_batch
 from repro.engine.parallel import ShardedExecutor
 from repro.engine.resilience import (
     ArenaAttachError,
@@ -69,6 +74,8 @@ from repro.engine.resilience import (
 from repro.engine.plan import (
     DIVIDE_CONQUER,
     FILTER_REFINE,
+    LOCALITY_OFF,
+    LOCALITY_ON,
     METHODS,
     TRAVERSAL_BLOCK,
     TRAVERSAL_NODE,
@@ -89,6 +96,8 @@ __all__ = [
     "ExecutionContext",
     "FILTER_REFINE",
     "FilterSet",
+    "LOCALITY_OFF",
+    "LOCALITY_ON",
     "METHODS",
     "PoolSaturated",
     "QueryExecutor",
@@ -104,5 +113,7 @@ __all__ = [
     "UpdateStreamError",
     "VORONOI",
     "WorkerCrashError",
+    "cluster_jobs",
     "execute",
+    "execute_batch",
 ]

@@ -215,6 +215,17 @@ class ExecutionContext:
         #: cached answers, and wholesale clears that were actually forced.
         self.subquery_patches = 0
         self.subquery_clears = 0
+        #: Query-locality engine statistics (see ``engine/locality.py``):
+        #: multi-member clusters executed, neighbour queries seeded from a
+        #: pilot's filter set, and shared candidates re-tested against a
+        #: neighbour's exact predicate.
+        self.locality_clusters = 0
+        self.locality_seeded = 0
+        self.locality_retested = 0
+        #: Batches that asked for a per-call worker pool but ran serially
+        #: instead — fewer than two usable CPUs, or a batch smaller than
+        #: ``RKNNT_MIN_SHARD_BATCH`` (see ``engine/parallel.py``).
+        self.shard_fallbacks = 0
         #: Transition deltas observed since the cache was last validated
         #: (bounded; overflow falls back to the wholesale clear).
         self._pending_deltas: List[TransitionDelta] = []
@@ -392,6 +403,17 @@ class ExecutionContext:
             self.subquery_hits += 1
         return answer
 
+    def subquery_cached(self, key: SubqueryKey) -> bool:
+        """Membership peek that does **not** touch the hit/miss counters.
+
+        The query-locality pre-pass (see ``engine/locality.py``) uses this
+        to decide which sub-queries still need resolving; counting those
+        peeks would make the shared-path statistics diverge from the
+        unshared run, breaking the differential counter discipline.
+        """
+        self._validate_subqueries()
+        return key in self._subqueries
+
     def subquery_store(self, key: SubqueryKey, confirmed: ConfirmedMap) -> None:
         """Memoise the answer of a single-point sub-query."""
         if not self._delta_listener_attached:
@@ -425,6 +447,10 @@ class ExecutionContext:
         state["subquery_misses"] = 0
         state["subquery_patches"] = 0
         state["subquery_clears"] = 0
+        state["locality_clusters"] = 0
+        state["locality_seeded"] = 0
+        state["locality_retested"] = 0
+        state["shard_fallbacks"] = 0
         state["_pending_deltas"] = []
         state["_delta_overflow"] = False
         # The transition index strips listeners from its own pickle; the
@@ -458,6 +484,37 @@ class ExecutionContext:
         self.subquery_misses = 0
         self.subquery_patches = 0
         self.subquery_clears = 0
+        self.locality_clusters = 0
+        self.locality_seeded = 0
+        self.locality_retested = 0
+        self.shard_fallbacks = 0
+
+    #: Counter fields shipped back from shard workers (see
+    #: :meth:`counter_snapshot` / :meth:`merge_counters`).
+    COUNTER_FIELDS = (
+        "subquery_hits",
+        "subquery_misses",
+        "subquery_patches",
+        "subquery_clears",
+        "locality_clusters",
+        "locality_seeded",
+        "locality_retested",
+        "shard_fallbacks",
+    )
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """Current values of every reuse/locality counter, by name.
+
+        Shard workers snapshot before and after executing their slice and
+        ship the difference home, so the parent context's counters reflect
+        the whole batch no matter where each query actually ran.
+        """
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+
+    def merge_counters(self, delta: Dict[str, int]) -> None:
+        """Fold a worker's counter delta into this context's counters."""
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + delta.get(name, 0))
 
     def __repr__(self) -> str:
         return (

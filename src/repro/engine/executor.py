@@ -164,43 +164,68 @@ class QueryExecutor:
         The half-plane truth tensor for all (box, filter point, query point)
         triples is evaluated in one numpy expression; only the set-union
         accounting (which routes dominate, did we reach ``k``) remains in
-        Python, iterating the usually tiny number of surviving rows.
+        Python, iterating the usually tiny number of surviving rows.  The
+        Voronoi step is likewise batched *across boxes*: one kernel call per
+        eligible route over the step-1 survivors, instead of one per
+        (box, route) pair.  The union a box accumulates is order-independent,
+        so the verdicts are identical to the per-box loop — the differential
+        and block/node equivalence tests pin this down.
         """
         packed = self.filter_set.packed()
         if len(packed) == 0:
             return [False] * len(boxes)
         tensor = kernels.boxes_halfplane_tensor(boxes, packed.points, query)
         all_q = tensor.all(axis=2)
-        results: List[bool] = []
+        results = [False] * len(boxes)
+        undecided: List[int] = []
+        partial: List[Set[int]] = []
         for index in range(len(boxes)):
-            results.append(self._decide_box(all_q[index], tensor[index], packed))
+            # Step 1: filter points whose filtering space contains the box.
+            dominating: Set[int] = set()
+            for row in _true_indices(all_q[index]):
+                crossover = packed.crossovers[row]
+                if crossover <= dominating:
+                    continue
+                dominating.update(crossover - self.excluded)
+                if len(dominating) >= self.k:
+                    break
+            if len(dominating) >= self.k:
+                results[index] = True
+            elif self.use_voronoi and packed.route_rows:
+                undecided.append(index)
+                partial.append(dominating)
+        if undecided:
+            self._decide_boxes_voronoi(tensor, undecided, partial, packed, results)
         return results
 
-    def _decide_box(self, all_q_row, tensor_row, packed) -> bool:
-        """Set accounting for one box, given its half-plane truth table."""
-        dominating: Set[int] = set()
-        # Step 1: filter points whose whole filtering space contains the box.
-        for row in _true_indices(all_q_row):
-            crossover = packed.crossovers[row]
-            if crossover <= dominating:
+    def _decide_boxes_voronoi(
+        self, tensor, undecided, partial, packed, results
+    ) -> None:
+        """Step 2 for the boxes step 1 left short of ``k`` dominators.
+
+        For each eligible route (≥ 2 filter points, not excluded) the Voronoi
+        domination verdict is computed for *all* still-undecided boxes in one
+        kernel call; the per-box set accounting then consumes the verdict
+        vector.  A box drops out of ``live`` as soon as it reaches ``k``.
+        """
+        sub = tensor[undecided]
+        live = list(range(len(undecided)))
+        for route_id, rows in packed.route_rows.items():
+            if not live:
+                return
+            if len(rows) < 2 or route_id in self.excluded:
                 continue
-            dominating.update(crossover - self.excluded)
-            if len(dominating) >= self.k:
-                return True
-        if len(dominating) >= self.k:
-            return True
-        # Step 2: whole filtering routes via the Voronoi filtering space.
-        if self.use_voronoi:
-            for route_id, rows in packed.route_rows.items():
-                if len(dominating) >= self.k:
-                    return True
-                if route_id in dominating or route_id in self.excluded:
-                    continue
-                if len(rows) < 2:
-                    continue
-                if kernels.route_dominates_box(tensor_row, rows):
+            verdicts = kernels.routes_dominate_boxes(sub, rows)
+            still: List[int] = []
+            for pos in live:
+                if verdicts[pos]:
+                    dominating = partial[pos]
                     dominating.add(route_id)
-        return len(dominating) >= self.k
+                    if len(dominating) >= self.k:
+                        results[undecided[pos]] = True
+                        continue
+                still.append(pos)
+            live = still
 
     # ------------------------------------------------------------------
     # Algorithm 2: FilterRoute

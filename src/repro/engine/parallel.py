@@ -98,7 +98,8 @@ from repro.core.semantics import EXISTS, Semantics
 from repro.engine import arena as arena_module
 from repro.engine import faults, resilience
 from repro.engine.context import ExecutionContext
-from repro.engine.executor import QueryExecutor, execute
+from repro.engine.executor import QueryExecutor
+from repro.engine.locality import cluster_jobs, dataset_cell_size, execute_batch
 from repro.engine.plan import QueryPlan
 from repro.engine.resilience import (
     Deadline,
@@ -253,17 +254,25 @@ def _fire_task_faults() -> None:
     faults.fire(faults.TASK_DELAY)
 
 
-def _run_shard(task) -> Tuple[int, List[RkNNTResult]]:
-    """Answer one shard of a batch workload against the worker's context."""
-    base_index, (jobs, k, plan, semantics), sync = task
+def _run_shard(task):
+    """Answer one shard of a batch workload against the worker's context.
+
+    The payload names each job's *workload index* explicitly (cluster-aware
+    sharding hands out non-contiguous slices), runs the shard through the
+    locality-aware batch loop — which degenerates to the plain per-job
+    ``execute`` loop when the locality engine is off — and ships the
+    worker's reuse/locality counter delta home so the parent context's
+    counters cover the whole batch.
+    """
+    indices, (jobs, k, plan, semantics), sync = task
     context = _worker_context()
     _fire_task_faults()
     _apply_sync(context, sync)
-    results = [
-        execute(context, query_points, k, plan, semantics, exclude_route_ids=excluded)
-        for query_points, excluded in jobs
-    ]
-    return base_index, results
+    before = context.counter_snapshot()
+    results = execute_batch(context, jobs, k, plan, semantics)
+    after = context.counter_snapshot()
+    delta = {name: after[name] - before[name] for name in after}
+    return indices, results, delta
 
 
 def standing_parts(context: ExecutionContext, job) -> List[Any]:
@@ -338,6 +347,53 @@ def available_cpu_count() -> int:
 #: ``start_method=`` argument still wins; unknown values are ignored (a
 #: mistyped tuning knob must never change answers or crash a query).
 START_METHOD_ENV = "RKNNT_START_METHOD"
+
+#: ``RKNNT_SHARD_BY=cluster`` assigns whole spatial clusters (the grid
+#: snap of :func:`repro.engine.locality.cluster_jobs`) to the same shard
+#: instead of slicing the workload in input order.  Nearby queries then
+#: run in the same worker — its caches and arena pages stay hot, and with
+#: ``RKNNT_LOCALITY=1`` the cluster's pilot/neighbour sharing happens
+#: entirely inside one process.  Results are re-scattered to workload
+#: order either way; unknown values fall back to ``index``.
+SHARD_BY_ENV = "RKNNT_SHARD_BY"
+SHARD_BY_INDEX = "index"
+SHARD_BY_CLUSTER = "cluster"
+
+
+def shard_by() -> str:
+    """The configured shard-assignment policy (``index`` unless overridden)."""
+    value = os.environ.get(SHARD_BY_ENV, "").strip().lower()
+    if value == SHARD_BY_CLUSTER:
+        return SHARD_BY_CLUSTER
+    return SHARD_BY_INDEX
+
+
+#: ``RKNNT_MIN_SHARD_BATCH`` — the smallest batch worth spawning a
+#: per-call worker pool for.  ``query_batch(workers=N)`` answers smaller
+#: batches serially instead (and likewise whenever fewer than two CPUs
+#: are available — pool setup then costs more than it buys; the batch
+#: benchmark measured a 0.42x "speedup" on one CPU).  Persistent serving
+#: pools are exempt: their setup cost is already paid.  ``0`` disables
+#: the fallback entirely — including the CPU guard — forcing
+#: ``workers=N`` to be honoured (the differential tests use this to
+#: exercise the real pool path on single-CPU runners).  Unparseable
+#: values fall back to the default (a mistyped tuning knob must never
+#: change answers or crash a query).
+MIN_SHARD_BATCH_ENV = "RKNNT_MIN_SHARD_BATCH"
+DEFAULT_MIN_SHARD_BATCH = 2
+
+
+def min_shard_batch() -> int:
+    """The configured minimum batch size for per-call pool spawning."""
+    raw = os.environ.get(MIN_SHARD_BATCH_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_MIN_SHARD_BATCH
+        if value >= 0:
+            return value
+    return DEFAULT_MIN_SHARD_BATCH
 
 
 def _preferred_start_method() -> str:
@@ -702,17 +758,33 @@ class ShardedExecutor:
     # ------------------------------------------------------------------
     def _shard_payloads(
         self, jobs: List[ShardJob], k: int, plan: QueryPlan, semantics: Semantics
-    ) -> List[Tuple[int, Any]]:
+    ) -> List[Tuple[Tuple[int, ...], Any]]:
+        """Cut the workload into shard tasks, each naming its job indices.
+
+        The default order is the workload order; ``RKNNT_SHARD_BY=cluster``
+        first reorders the indices cluster-contiguously so each shard holds
+        spatially nearby queries.  Shards carry explicit index tuples (not a
+        base offset) so either order scatters back identically.
+        """
         if self.chunk_size is not None:
             chunk = self.chunk_size
         else:
             # ~4 shards per worker: enough slack that an unlucky shard of
             # expensive queries does not leave the other workers idle.
             chunk = max(1, math.ceil(len(jobs) / (self.workers * 4)))
-        return [
-            (start, (jobs[start : start + chunk], k, plan, semantics))
-            for start in range(0, len(jobs), chunk)
-        ]
+        order = list(range(len(jobs)))
+        if shard_by() == SHARD_BY_CLUSTER:
+            cell = dataset_cell_size(self.context)
+            order = [
+                index for cluster in cluster_jobs(jobs, cell) for index in cluster
+            ]
+        payloads: List[Tuple[Tuple[int, ...], Any]] = []
+        for start in range(0, len(order), chunk):
+            indices = tuple(order[start : start + chunk])
+            payloads.append(
+                (indices, ([jobs[i] for i in indices], k, plan, semantics))
+            )
+        return payloads
 
     def _collect(
         self,
@@ -869,8 +941,13 @@ class ShardedExecutor:
             self._degrade(exc)
             return self._run_serial(job_list, k, plan, semantics, deadline)
         results: List[Optional[RkNNTResult]] = [None] * len(job_list)
-        for base_index, shard in shard_results:
-            results[base_index : base_index + len(shard)] = shard
+        # Counter deltas are merged only here, after ``_submit_all`` has
+        # fully succeeded — its internal crash retry replays whole
+        # workloads, so merging inside the loop could double-count.
+        for indices, shard, delta in shard_results:
+            for index, result in zip(indices, shard):
+                results[index] = result
+            self.context.merge_counters(delta)
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
@@ -903,24 +980,16 @@ class ShardedExecutor:
         semantics: Semantics,
         deadline: Optional[Deadline],
     ) -> List[RkNNTResult]:
-        """The degraded path: the exact code ``workers=0`` runs, in process."""
+        """The degraded path: the exact code ``workers=0`` runs, in process.
+
+        Routed through the locality-aware batch loop like the processor's
+        serial path — with ``RKNNT_LOCALITY`` off it degenerates to one
+        ``execute`` call per job, deadline-checked between jobs either way.
+        """
         self.degraded_runs += 1
-        results = []
-        for query_points, excluded in job_list:
-            if deadline is not None:
-                deadline.check("query")
-            results.append(
-                execute(
-                    self.context,
-                    query_points,
-                    k,
-                    plan,
-                    semantics,
-                    exclude_route_ids=excluded,
-                    deadline=deadline,
-                )
-            )
-        return results
+        return execute_batch(
+            self.context, job_list, k, plan, semantics, deadline=deadline
+        )
 
     def run_standing(
         self,

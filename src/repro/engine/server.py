@@ -749,6 +749,20 @@ class RkNNTServer:
                 ),
             }
         )
+        # Work-reuse counters live on the execution context; shard workers
+        # ship their deltas home after every pool batch, so these reflect
+        # the whole serving history regardless of where queries ran.
+        context = self.processor.engine_context
+        payload.update(
+            {
+                "subquery_hits": context.subquery_hits,
+                "subquery_misses": context.subquery_misses,
+                "locality_clusters": context.locality_clusters,
+                "locality_seeded": context.locality_seeded,
+                "locality_retested": context.locality_retested,
+                "shard_fallbacks": context.shard_fallbacks,
+            }
+        )
         return payload
 
 

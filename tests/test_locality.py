@@ -1,0 +1,511 @@
+"""Differential tests of the query-locality engine (``RKNNT_LOCALITY``).
+
+The contract, per method × semantics × backend on a *clustered* workload:
+
+    query_batch(queries) with sharing  ≡  query_batch(queries) without
+
+where ``≡`` is element-wise identity of the confirmed endpoint maps and
+transition ids; for the non-decomposed methods the verification counter
+(``confirmed_points``) is identical too, because margin-pruned sharing must
+not change which endpoints reach exact verification's confirm step.  On top
+of the serial contract: the cluster-aware shard assignment returns the same
+answers as index sharding, worker-side locality counters merge into the
+parent context, the continuous layer seeds new standing queries from nearby
+donors without changing their results, and the env knobs parse safely.
+"""
+
+import pytest
+
+from repro.core.rknnt import RkNNTProcessor
+from repro.data.workloads import QueryWorkload, make_city
+from repro.engine.locality import (
+    cluster_jobs,
+    dataset_cell_size,
+    execute_batch,
+    locality_cell_override,
+)
+from repro.engine.plan import (
+    LOCALITY_ENV,
+    LOCALITY_OFF,
+    LOCALITY_ON,
+    QueryPlan,
+    default_locality,
+)
+from repro.geometry.kernels import numpy_available
+
+K = 2
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+METHODS = ["filter-refine", "voronoi", "divide-conquer"]
+NON_DECOMPOSED = ["filter-refine", "voronoi"]
+
+
+@pytest.fixture(scope="module")
+def clustered_queries(mini_city):
+    workload = QueryWorkload(mini_city, seed=17)
+    return workload.clustered_query_routes(
+        10, length=3, interval=0.7, clusters=3
+    )
+
+
+#: Pinned snap-cell size for the mini city: big enough that each generated
+#: cluster lands in one cell despite the per-query heading jitter.
+CELL = "3.0"
+
+
+def _run_batch(processor, queries, monkeypatch, locality, **kwargs):
+    monkeypatch.setenv(LOCALITY_ENV, "1" if locality else "0")
+    monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+    processor.engine_context.clear_caches()
+    return processor.query_batch(queries, K, **kwargs)
+
+
+class TestDifferentialIdentity:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("semantics", ["exists", "forall"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_shared_equals_unshared(
+        self, mini_processor, clustered_queries, monkeypatch,
+        method, semantics, backend,
+    ):
+        unshared = _run_batch(
+            mini_processor, clustered_queries, monkeypatch, False,
+            method=method, semantics=semantics, backend=backend,
+        )
+        shared = _run_batch(
+            mini_processor, clustered_queries, monkeypatch, True,
+            method=method, semantics=semantics, backend=backend,
+        )
+        context = mini_processor.engine_context
+        assert context.locality_clusters > 0
+        assert context.locality_seeded > 0
+        for a, b in zip(unshared, shared):
+            assert a.confirmed_endpoints == b.confirmed_endpoints
+            assert a.transition_ids == b.transition_ids
+            assert a.exists_ids() == b.exists_ids()
+            assert a.forall_ids() == b.forall_ids()
+            if method in NON_DECOMPOSED:
+                # Sharing may skip filter/prune work but must confirm the
+                # exact same endpoints through exact verification.
+                assert a.stats.confirmed_points == b.stats.confirmed_points
+
+    def test_default_off_leaves_counters_untouched(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        monkeypatch.delenv(LOCALITY_ENV, raising=False)
+        mini_processor.engine_context.clear_caches()
+        mini_processor.query_batch(clustered_queries, K)
+        context = mini_processor.engine_context
+        assert context.locality_clusters == 0
+        assert context.locality_seeded == 0
+        assert context.locality_retested == 0
+
+    def test_pilot_stats_match_unshared_run(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        """The cluster pilot runs the plain staged executor: its full
+        statistics are those of the unshared run of the same query."""
+        unshared = _run_batch(
+            mini_processor, clustered_queries, monkeypatch, False,
+            method="voronoi",
+        )
+        shared = _run_batch(
+            mini_processor, clustered_queries, monkeypatch, True,
+            method="voronoi",
+        )
+        jobs = [(tuple(map(tuple, q)), frozenset()) for q in clustered_queries]
+        pilots = set()
+        for members in cluster_jobs(jobs, float(CELL)):
+            if len(members) >= 2:
+                # Pilot election is deterministic; any member whose stats
+                # match fully is the pilot — assert at least one does.
+                matches = [
+                    m for m in members
+                    if shared[m].stats.route_nodes_visited
+                    == unshared[m].stats.route_nodes_visited
+                    and shared[m].stats.candidates == unshared[m].stats.candidates
+                ]
+                assert matches
+                pilots.update(matches)
+        assert pilots
+
+
+class TestShardedClusterMode:
+    def test_cluster_sharding_matches_serial(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        serial = _run_batch(
+            mini_processor, clustered_queries, monkeypatch, True
+        )
+        from repro.engine.parallel import ShardedExecutor
+        from repro.engine.plan import QueryPlan as Plan
+
+        monkeypatch.setenv("RKNNT_SHARD_BY", "cluster")
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+        mini_processor.engine_context.clear_caches()
+        jobs = [(tuple(map(tuple, q)), frozenset()) for q in clustered_queries]
+        executor = ShardedExecutor(
+            mini_processor.engine_context, workers=2, chunk_size=5
+        )
+        try:
+            sharded = executor.run(
+                jobs, K, Plan.for_method("voronoi"), "exists"
+            )
+        finally:
+            executor.close()
+        for a, b in zip(serial, sharded):
+            assert a.confirmed_endpoints == b.confirmed_endpoints
+            assert a.transition_ids == b.transition_ids
+        # Worker-side locality counters are shipped back and merged.
+        context = mini_processor.engine_context
+        assert context.locality_clusters > 0
+        assert context.locality_seeded > 0
+
+    def test_unknown_shard_by_falls_back_to_index(self, monkeypatch):
+        from repro.engine.parallel import SHARD_BY_INDEX, shard_by
+
+        monkeypatch.setenv("RKNNT_SHARD_BY", "nonsense")
+        assert shard_by() == SHARD_BY_INDEX
+        monkeypatch.delenv("RKNNT_SHARD_BY")
+        assert shard_by() == SHARD_BY_INDEX
+
+
+class TestMemoUnification:
+    def test_decomposed_prepass_feeds_subquery_cache(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        """Locality is the near-hit tier below the memo cache: the pre-pass
+        stores clustered sub-query answers, so the decomposed execution
+        loop afterwards finds exact hits."""
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+        context = mini_processor.engine_context
+        context.clear_caches()
+        mini_processor.query_batch(
+            clustered_queries, K, method="divide-conquer"
+        )
+        assert context.locality_clusters > 0
+        assert context.locality_seeded > 0
+        # Every pre-pass answer is consumed as an exact memo hit.
+        assert context.subquery_hits >= context.locality_seeded
+
+    def test_second_batch_is_pure_cache_hits(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+        context = mini_processor.engine_context
+        context.clear_caches()
+        first = mini_processor.query_batch(
+            clustered_queries, K, method="divide-conquer"
+        )
+        clusters_before = context.locality_clusters
+        second = mini_processor.query_batch(
+            clustered_queries, K, method="divide-conquer"
+        )
+        # Everything is memoised: no new clusters, identical answers.
+        assert context.locality_clusters == clusters_before
+        for a, b in zip(first, second):
+            assert a.confirmed_endpoints == b.confirmed_endpoints
+
+
+class TestContinuousSeeding:
+    def test_new_subscription_seeds_from_nearby_donor(
+        self, mini_city, mini_transitions, monkeypatch
+    ):
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        workload = QueryWorkload(mini_city, seed=31)
+        donor_query = workload.random_query_route(3, 0.5)
+        nearby = [(x + 0.05, y + 0.05) for x, y in donor_query]
+
+        processor.watch(donor_query, K)
+        seeded = processor.watch(nearby, K)
+        assert seeded.delta_stats.seeded_filter_points > 0
+        fresh = processor.query(nearby, K)
+        standing = seeded.result()
+        assert standing.transition_ids == fresh.transition_ids
+        assert standing.confirmed_endpoints == fresh.confirmed_endpoints
+
+    def test_no_seeding_when_locality_off(
+        self, mini_city, mini_transitions, monkeypatch
+    ):
+        monkeypatch.delenv(LOCALITY_ENV, raising=False)
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        workload = QueryWorkload(mini_city, seed=31)
+        donor_query = workload.random_query_route(3, 0.5)
+        nearby = [(x + 0.05, y + 0.05) for x, y in donor_query]
+        processor.watch(donor_query, K)
+        second = processor.watch(nearby, K)
+        assert second.delta_stats.seeded_filter_points == 0
+
+    def test_seeded_subscription_survives_route_churn(
+        self, mini_city, mini_transitions, monkeypatch
+    ):
+        """Seed facts are route-derived: a route-churn rebuild must drop
+        them (they are only applied to the first build) and still match a
+        fresh query against the mutated dataset."""
+        from repro.model.route import Route
+
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        processor = RkNNTProcessor(mini_city.routes, mini_transitions)
+        workload = QueryWorkload(mini_city, seed=31)
+        donor_query = workload.random_query_route(3, 0.5)
+        nearby = [(x + 0.05, y + 0.05) for x, y in donor_query]
+        processor.watch(donor_query, K)
+        seeded = processor.watch(nearby, K)
+        seeds_after_build = seeded.delta_stats.seeded_filter_points
+        assert seeds_after_build > 0
+
+        new_route = Route(
+            mini_city.routes.next_id(),
+            [(p[0] + 0.3, p[1] - 0.2) for p in nearby],
+        )
+        processor.add_route(new_route)
+        try:
+            assert seeded.delta_stats.seeded_filter_points == seeds_after_build
+            fresh = processor.query(nearby, K)
+            assert seeded.result().transition_ids == fresh.transition_ids
+            assert (
+                seeded.result().confirmed_endpoints == fresh.confirmed_endpoints
+            )
+        finally:
+            processor.remove_route(new_route.route_id)
+
+
+class TestKnobs:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("1", LOCALITY_ON),
+            ("true", LOCALITY_ON),
+            ("YES", LOCALITY_ON),
+            ("on", LOCALITY_ON),
+            ("0", LOCALITY_OFF),
+            ("", LOCALITY_OFF),
+            ("banana", LOCALITY_OFF),
+        ],
+    )
+    def test_locality_env_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(LOCALITY_ENV, raw)
+        assert default_locality() == expected
+
+    def test_plan_resolves_auto_from_env(self, monkeypatch):
+        from dataclasses import replace
+
+        plan = QueryPlan.for_method("voronoi")
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        assert plan.resolved().locality == LOCALITY_ON
+        monkeypatch.delenv(LOCALITY_ENV)
+        assert plan.resolved().locality == LOCALITY_OFF
+        pinned = replace(plan, locality=LOCALITY_ON)
+        assert pinned.resolved().locality == LOCALITY_ON
+
+    def test_invalid_plan_locality_rejected(self):
+        from dataclasses import replace
+
+        plan = replace(QueryPlan.for_method("voronoi"), locality="sometimes")
+        with pytest.raises(ValueError):
+            plan.resolved()
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("2.5", 2.5), ("0", None), ("-1", None), ("inf", None), ("abc", None)],
+    )
+    def test_cell_override_parsing(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", raw)
+        assert locality_cell_override() == expected
+
+    def test_cell_override_changes_clustering(
+        self, mini_processor, clustered_queries, monkeypatch
+    ):
+        jobs = [(tuple(map(tuple, q)), frozenset()) for q in clustered_queries]
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", "1000")
+        assert len(cluster_jobs(jobs)) == 1
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", "1e-9")
+        assert len(cluster_jobs(jobs)) == len(jobs)
+
+    def test_excluded_sets_never_share_a_cluster(self, clustered_queries):
+        query = tuple(map(tuple, clustered_queries[0]))
+        jobs = [(query, frozenset()), (query, frozenset({1}))]
+        clusters = cluster_jobs(jobs, cell=1000.0)
+        assert len(clusters) == 2
+
+
+class TestWorkloadGenerator:
+    def test_clustered_routes_are_deterministic(self, mini_city):
+        first = QueryWorkload(mini_city, seed=5).clustered_query_routes(
+            8, length=3, interval=0.6
+        )
+        second = QueryWorkload(mini_city, seed=5).clustered_query_routes(
+            8, length=3, interval=0.6
+        )
+        assert first == second
+        different = QueryWorkload(mini_city, seed=6).clustered_query_routes(
+            8, length=3, interval=0.6
+        )
+        assert first != different
+
+    def test_clustered_routes_shape_and_interval(self, mini_city):
+        import math
+
+        routes = QueryWorkload(mini_city, seed=5).clustered_query_routes(
+            6, length=4, interval=0.6, clusters=2
+        )
+        assert len(routes) == 6
+        for route in routes:
+            assert len(route) == 4
+            for (x0, y0), (x1, y1) in zip(route, route[1:]):
+                step = math.hypot(x1 - x0, y1 - y0)
+                assert step == pytest.approx(0.6)
+
+    def test_round_robin_covers_every_cluster(self, mini_city):
+        workload = QueryWorkload(mini_city, seed=5)
+        routes = workload.clustered_query_routes(
+            9, length=2, interval=0.5, clusters=3, spread=0.05
+        )
+        # Queries i, i+3, i+6 share a cluster centre; any prefix of
+        # length >= clusters touches all three centres.
+        for offset in range(3):
+            group = [routes[offset], routes[offset + 3], routes[offset + 6]]
+            xs = [r[0][0] for r in group]
+            assert max(xs) - min(xs) < 1.0
+
+
+class TestExecuteBatchApi:
+    def test_off_path_is_plain_serial_loop(self, mini_processor, clustered_queries):
+        from dataclasses import replace
+
+        from repro.engine.executor import execute
+
+        plan = replace(QueryPlan.for_method("voronoi"), locality=LOCALITY_OFF)
+        jobs = [(tuple(map(tuple, q)), frozenset()) for q in clustered_queries]
+        batch = execute_batch(
+            mini_processor.engine_context, jobs, K, plan, "exists"
+        )
+        singles = [
+            execute(
+                mini_processor.engine_context, points, K, plan.resolved(),
+                "exists", exclude_route_ids=excluded,
+            )
+            for points, excluded in jobs
+        ]
+        for a, b in zip(batch, singles):
+            assert a.confirmed_endpoints == b.confirmed_endpoints
+
+    def test_single_job_batch_never_clusters(self, mini_processor, clustered_queries):
+        from dataclasses import replace
+
+        context = mini_processor.engine_context
+        context.clear_caches()
+        plan = replace(QueryPlan.for_method("voronoi"), locality=LOCALITY_ON)
+        jobs = [(tuple(map(tuple, clustered_queries[0])), frozenset())]
+        execute_batch(context, jobs, K, plan, "exists")
+        assert context.locality_clusters == 0
+
+
+class TestInvalidationUnderChurn:
+    """Warm locality caches must never outlive the data they answered.
+
+    An interleaved churn script — transition inserts, deletes, a route
+    added and removed — runs against a processor whose shared caches were
+    warmed once and never cleared: after every mutation the seeded batch
+    answers must match the brute-force oracle recomputed from the mutated
+    datasets, serially and through fork and spawn worker pools (which see
+    the churn as delta syncs and route-churn reseeds)."""
+
+    def _queries(self, city):
+        workload = QueryWorkload(city, seed=17)
+        return workload.clustered_query_routes(
+            6, length=3, interval=0.7, clusters=2
+        )
+
+    def _run_script(self, processor, check):
+        """Mutate, then verify, six times: insert/insert/delete transitions
+        interleaved with a route appearing and disappearing."""
+        from repro.model.route import Route
+        from repro.model.transition import Transition
+
+        first = processor.transitions.next_id()
+        processor.add_transition(Transition(first, (2.1, 2.1), (2.4, 2.6)))
+        check("insert first transition")
+        second = processor.transitions.next_id()
+        processor.add_transition(Transition(second, (3.1, 2.2), (2.6, 2.9)))
+        check("insert second transition")
+        processor.remove_transition(first)
+        check("delete first transition")
+        route = Route(
+            processor.routes.next_id(),
+            [(2.2, 2.1), (2.6, 2.4), (3.0, 2.8)],
+        )
+        processor.add_route(route)
+        check("add route")
+        processor.remove_route(route.route_id)
+        check("remove route")
+        processor.remove_transition(second)
+        check("delete second transition")
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_serial_seeded_answers_track_churn(self, method, monkeypatch):
+        from repro.core.baseline import rknnt_bruteforce
+
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+        city, transitions = make_city("mini")
+        processor = RkNNTProcessor(city.routes, transitions)
+        queries = self._queries(city)
+        # Warm every shared cache once; from here on each mutation must
+        # invalidate on its own — the caches are never cleared again.
+        processor.query_batch(queries, K, method=method)
+
+        def check(label):
+            shared = processor.query_batch(queries, K, method=method)
+            for index, (result, query) in enumerate(zip(shared, queries)):
+                oracle = rknnt_bruteforce(
+                    processor.routes, processor.transitions, query, K
+                )
+                assert result.confirmed_endpoints == oracle.confirmed_endpoints, (
+                    f"{label}: stale answer at query {index}"
+                )
+                assert result.transition_ids == oracle.transition_ids, (
+                    f"{label}: stale transitions at query {index}"
+                )
+
+        self._run_script(processor, check)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pooled_seeded_answers_track_churn(self, start_method, monkeypatch):
+        import multiprocessing
+
+        from repro.core.baseline import rknnt_bruteforce
+        from repro.engine.parallel import ShardedExecutor
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable on this platform")
+        monkeypatch.setenv(LOCALITY_ENV, "1")
+        monkeypatch.setenv("RKNNT_LOCALITY_CELL", CELL)
+        monkeypatch.setenv("RKNNT_SHARD_BY", "cluster")
+        city, transitions = make_city("mini")
+        processor = RkNNTProcessor(city.routes, transitions)
+        queries = self._queries(city)
+        jobs = [(tuple(map(tuple, q)), frozenset()) for q in queries]
+        plan = QueryPlan.for_method("voronoi", share_subquery_cache=True)
+        with ShardedExecutor(
+            processor.engine_context, workers=2, start_method=start_method
+        ) as pool:
+            pool.run(jobs, K, plan)  # warm the workers' caches
+
+            def check(label):
+                shared = pool.run(jobs, K, plan)
+                for index, (result, query) in enumerate(zip(shared, queries)):
+                    oracle = rknnt_bruteforce(
+                        processor.routes, processor.transitions, query, K
+                    )
+                    assert (
+                        result.confirmed_endpoints == oracle.confirmed_endpoints
+                    ), f"{label}: stale answer at query {index}"
+                    assert result.transition_ids == oracle.transition_ids, (
+                        f"{label}: stale transitions at query {index}"
+                    )
+
+            self._run_script(processor, check)

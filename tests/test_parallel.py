@@ -17,9 +17,13 @@ import pytest
 from repro.core.baseline import rknnt_bruteforce
 from repro.core.rknnt import DIVIDE_CONQUER, METHODS, RkNNTProcessor
 from repro.engine.context import ExecutionContext
+from repro.engine import parallel
 from repro.engine.parallel import (
+    DEFAULT_MIN_SHARD_BATCH,
+    MIN_SHARD_BATCH_ENV,
     ShardedExecutor,
     available_cpu_count,
+    min_shard_batch,
     resolve_worker_count,
 )
 from repro.engine.plan import QueryPlan, VORONOI
@@ -38,6 +42,18 @@ def shard_queries(mini_workload):
     queries = mini_workload.query_routes(QUERY_COUNT, length=4, interval=0.8)
     queries.append(queries[0][:1])  # single-point degenerate case
     return queries
+
+
+@pytest.fixture(autouse=True)
+def force_pool_path(monkeypatch):
+    """Exercise the real pool path even on single-CPU runners.
+
+    ``RKNNT_MIN_SHARD_BATCH=0`` disables ``query_batch``'s serial
+    fallback so the sharded ≡ serial contract is tested against actual
+    worker processes (the fallback itself is covered by
+    :class:`TestSerialFallback`, which restores the default).
+    """
+    monkeypatch.setenv("RKNNT_MIN_SHARD_BATCH", "0")
 
 
 class TestShardedEquivalence:
@@ -170,6 +186,67 @@ class TestWorkerKnob:
     def test_invalid_chunk_size(self, mini_processor):
         with pytest.raises(ValueError):
             ShardedExecutor(mini_processor.engine_context, chunk_size=0)
+
+
+class TestSerialFallback:
+    """``query_batch(workers=N)`` declines to spawn a per-call pool when it
+    cannot pay off — too few CPUs, or a batch below
+    ``RKNNT_MIN_SHARD_BATCH`` — answering serially (identically) instead
+    and counting the fallback.  Persistent serving pools are exempt (their
+    setup cost is sunk); those paths are covered in test_serving.py."""
+
+    def test_small_batch_answers_serially(
+        self, mini_processor, shard_queries, monkeypatch
+    ):
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, str(len(shard_queries) + 1))
+        context = mini_processor.engine_context
+        before = context.shard_fallbacks
+        serial = mini_processor.query_batch(shard_queries, K)
+        fell_back = mini_processor.query_batch(shard_queries, K, workers=WORKERS)
+        assert context.shard_fallbacks == before + 1
+        for expected, actual in zip(serial, fell_back):
+            assert actual.confirmed_endpoints == expected.confirmed_endpoints
+
+    def test_single_cpu_answers_serially(
+        self, mini_processor, shard_queries, monkeypatch
+    ):
+        monkeypatch.delenv(MIN_SHARD_BATCH_ENV, raising=False)
+        monkeypatch.setattr(parallel, "available_cpu_count", lambda: 1)
+        context = mini_processor.engine_context
+        before = context.shard_fallbacks
+        serial = mini_processor.query_batch(shard_queries, K)
+        fell_back = mini_processor.query_batch(shard_queries, K, workers=WORKERS)
+        assert context.shard_fallbacks == before + 1
+        for expected, actual in zip(serial, fell_back):
+            assert actual.confirmed_endpoints == expected.confirmed_endpoints
+
+    def test_zero_disables_the_fallback(
+        self, mini_processor, shard_queries, monkeypatch
+    ):
+        # Even on one CPU, 0 forces the requested pool (the escape hatch
+        # this module's autouse fixture relies on).
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, "0")
+        monkeypatch.setattr(parallel, "available_cpu_count", lambda: 1)
+        context = mini_processor.engine_context
+        before = context.shard_fallbacks
+        serial = mini_processor.query_batch(shard_queries, K)
+        pooled = mini_processor.query_batch(shard_queries, K, workers=WORKERS)
+        assert context.shard_fallbacks == before
+        for expected, actual in zip(serial, pooled):
+            assert actual.confirmed_endpoints == expected.confirmed_endpoints
+
+    def test_min_shard_batch_parsing(self, monkeypatch):
+        monkeypatch.delenv(MIN_SHARD_BATCH_ENV, raising=False)
+        assert min_shard_batch() == DEFAULT_MIN_SHARD_BATCH
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, "7")
+        assert min_shard_batch() == 7
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, "0")
+        assert min_shard_batch() == 0
+        # A mistyped tuning knob must never change answers or crash.
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, "lots")
+        assert min_shard_batch() == DEFAULT_MIN_SHARD_BATCH
+        monkeypatch.setenv(MIN_SHARD_BATCH_ENV, "-3")
+        assert min_shard_batch() == DEFAULT_MIN_SHARD_BATCH
 
 
 class TestContextPickling:

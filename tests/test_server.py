@@ -282,6 +282,18 @@ class TestServerBasics:
                     stats = client.stats()
                     assert stats["queries"] == 1
                     assert stats["batches"] == 1
+                    # The work-reuse counters ride along in every stats
+                    # reply (worker deltas are merged into the parent
+                    # context, so serving batches count too).
+                    for counter in (
+                        "subquery_hits",
+                        "subquery_misses",
+                        "locality_clusters",
+                        "locality_seeded",
+                        "locality_retested",
+                        "shard_fallbacks",
+                    ):
+                        assert stats[counter] >= 0
         finally:
             processor.close()
 
